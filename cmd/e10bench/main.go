@@ -1,0 +1,206 @@
+// Command e10bench regenerates the paper's evaluation figures.
+//
+// Figures 4, 5 and 6 come from the coll_perf sweep, Figures 7 and 8 from
+// the Flash-IO sweep, and Figures 9 and 10 from the IOR sweep (which, as
+// in §IV-D, includes the last write phase's non-hidden synchronisation).
+// Each sweep covers the <aggregators>_<coll_bufsize> grid for the cases
+// "BW Cache Disabled", "BW Cache Enabled" and "TBW Cache Enable".
+//
+//	e10bench -fig all              # everything, quick grid
+//	e10bench -fig 4 -sweep paper   # Figure 4 on the full 4×5 grid
+//	e10bench -fig 9 -scale 8x4     # IOR figures on a shrunken cluster
+//	e10bench -fig 7 -csv out.csv   # also dump CSV for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 4..10, or 'all'")
+		sweep    = flag.String("sweep", "quick", "grid: 'quick' (3 buffer sizes) or 'paper' (full 4x5 grid)")
+		seed     = flag.Int64("seed", 20160901, "simulation seed")
+		scale    = flag.String("scale", "", "shrink the cluster, e.g. '16x8' for 16 nodes x 8 ranks")
+		csv      = flag.String("csv", "", "also write results as CSV to this file")
+		files    = flag.Int("files", 4, "files written per experiment")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablations instead of the figures")
+	)
+	flag.Parse()
+
+	var sw harness.Sweep
+	switch *sweep {
+	case "quick":
+		sw = harness.QuickSweep(*seed)
+	case "paper":
+		sw = harness.PaperSweep(*seed)
+	default:
+		fatalf("unknown -sweep %q", *sweep)
+	}
+	sw.NFiles = *files
+	if *scale != "" {
+		var nodes, ppn int
+		if _, err := fmt.Sscanf(*scale, "%dx%d", &nodes, &ppn); err != nil || nodes < 1 || ppn < 1 {
+			fatalf("bad -scale %q (want e.g. 16x8)", *scale)
+		}
+		sw.Cluster = harness.Scaled(*seed, nodes, ppn)
+		// Keep aggregator counts meaningful on the smaller machine.
+		var aggs []int
+		for _, a := range sw.Aggregators {
+			if a <= nodes*ppn {
+				aggs = append(aggs, a)
+			}
+		}
+		sw.Aggregators = aggs
+	}
+
+	if *ablation {
+		runAblations(sw)
+		return
+	}
+
+	want := map[int]bool{}
+	if *fig == "all" {
+		for f := 4; f <= 10; f++ {
+			want[f] = true
+		}
+	} else {
+		var f int
+		if _, err := fmt.Sscanf(*fig, "%d", &f); err != nil || f < 4 || f > 10 {
+			fatalf("bad -fig %q (want 4..10 or all)", *fig)
+		}
+		want[f] = true
+	}
+
+	var csvOut strings.Builder
+	runSweep := func(w workloads.Workload, includeLast bool) *harness.SweepResult {
+		fmt.Fprintf(os.Stderr, "running %s sweep (%d aggregator counts x %d buffer sizes x 3 cases)...\n",
+			w.Name(), len(sw.Aggregators), len(sw.CBBytes))
+		sr, err := harness.RunSweep(w, harness.AllCases, sw, includeLast)
+		if err != nil {
+			fatalf("%s sweep: %v", w.Name(), err)
+		}
+		csvOut.WriteString(sr.RenderCSV())
+		return sr
+	}
+
+	if want[4] || want[5] || want[6] {
+		sr := runSweep(workloads.DefaultCollPerf(), false)
+		if want[4] {
+			fmt.Println(sr.RenderBandwidth("Figure 4"))
+		}
+		if want[5] {
+			fmt.Println(sr.RenderBreakdown("Figure 5", harness.CacheEnabled))
+		}
+		if want[6] {
+			fmt.Println(sr.RenderBreakdown("Figure 6", harness.CacheDisabled))
+		}
+	}
+	if want[7] || want[8] {
+		sr := runSweep(workloads.DefaultFlashIO(), false)
+		if want[7] {
+			fmt.Println(sr.RenderBandwidth("Figure 7"))
+		}
+		if want[8] {
+			fmt.Println(sr.RenderBreakdown("Figure 8", harness.CacheEnabled))
+		}
+	}
+	if want[9] || want[10] {
+		sr := runSweep(workloads.DefaultIOR(), true)
+		if want[9] {
+			fmt.Println(sr.RenderBandwidth("Figure 9"))
+		}
+		if want[10] {
+			fmt.Println(sr.RenderBreakdown("Figure 10", harness.CacheEnabled))
+		}
+	}
+
+	if *csv != "" {
+		if err := os.WriteFile(*csv, []byte(csvOut.String()), 0o644); err != nil {
+			fatalf("write csv: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csv)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "e10bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runAblations exercises the design choices DESIGN.md calls out, one table
+// each: sync-buffer size, flush policy, aggregator ratio and I/O-server
+// jitter sensitivity.
+func runAblations(sw harness.Sweep) {
+	w := workloads.DefaultCollPerf()
+	base := func(cs harness.Case, aggs int) harness.Spec {
+		spec := harness.DefaultSpec(w, cs, aggs, 16<<20)
+		spec.Cluster = sw.Cluster
+		spec.NFiles = sw.NFiles
+		spec.ComputeDelay = sw.Compute
+		return spec
+	}
+	run := func(spec harness.Spec) *harness.Result {
+		res, err := harness.Run(spec)
+		if err != nil {
+			fatalf("ablation: %v", err)
+		}
+		return res
+	}
+
+	fmt.Println("Ablation A — ind_wr_buffer_size (cache sync granularity), 8 aggregators")
+	fmt.Printf("%-12s %12s %18s\n", "sync_buf", "BW [GB/s]", "not_hidden_sync[s]")
+	for _, buf := range []int64{128 << 10, 512 << 10, 2 << 20, 8 << 20} {
+		spec := base(harness.CacheEnabled, 8)
+		spec.SyncBuffer = buf
+		res := run(spec)
+		fmt.Printf("%-12s %12.2f %18.2f\n", byteLabel(buf), res.BandwidthGBs,
+			res.Breakdown["not_hidden_sync"].Seconds())
+	}
+
+	fmt.Println("\nAblation B — e10_cache_flush_flag, 16 aggregators, last sync counted")
+	fmt.Printf("%-18s %12s\n", "flush_flag", "BW [GB/s]")
+	for _, flush := range []string{"flush_immediate", "flush_onclose", "flush_adaptive"} {
+		spec := base(harness.CacheEnabled, 16)
+		spec.FlushFlag = flush
+		spec.IncludeLastSync = true
+		res := run(spec)
+		fmt.Printf("%-18s %12.2f\n", flush, res.BandwidthGBs)
+	}
+
+	fmt.Println("\nAblation C — aggregator / compute-node ratio (the paper's central knob)")
+	fmt.Printf("%-6s %14s %14s\n", "aggs", "enabled[GB/s]", "disabled[GB/s]")
+	for _, aggs := range sw.Aggregators {
+		en := run(base(harness.CacheEnabled, aggs))
+		dis := run(base(harness.CacheDisabled, aggs))
+		fmt.Printf("%-6d %14.2f %14.2f\n", aggs, en.BandwidthGBs, dis.BandwidthGBs)
+	}
+
+	fmt.Println("\nAblation D — I/O-server jitter (slowest-writer sensitivity), cache disabled")
+	fmt.Printf("%-8s %12s %16s\n", "sigma", "BW [GB/s]", "post_write[s]")
+	for _, sigma := range []float64{0, 0.25, 0.45, 0.9} {
+		spec := base(harness.CacheDisabled, 32)
+		if sigma > 0 {
+			spec.Cluster.PFS.TargetJitter = sim.UnitLogNormal(sigma)
+		} else {
+			spec.Cluster.PFS.TargetJitter = nil
+		}
+		res := run(spec)
+		fmt.Printf("%-8.2f %12.2f %16.2f\n", sigma, res.BandwidthGBs,
+			res.Breakdown["post_write"].Seconds())
+	}
+}
+
+func byteLabel(n int64) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%dMB", n>>20)
+	}
+	return fmt.Sprintf("%dKB", n>>10)
+}

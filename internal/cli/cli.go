@@ -1,0 +1,119 @@
+// Package cli is the shared command-line plumbing of the benchmark
+// executables (collperf, flashio, ior): flag parsing into a harness.Spec
+// and result rendering.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/mpe"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Flags holds the common benchmark options.
+type Flags struct {
+	Aggs    *int
+	CBMB    *int
+	Case    *string
+	Files   *int
+	Compute *float64
+	Nodes   *int
+	PPN     *int
+	Seed    *int64
+	LastNHS *bool
+	Trace   *string
+	Stats   *bool
+}
+
+// Register installs the common flags on fs with the paper's defaults.
+func Register(fs *flag.FlagSet, includeLastSync bool) *Flags {
+	return &Flags{
+		Aggs:    fs.Int("aggs", 64, "number of aggregators (cb_nodes)"),
+		CBMB:    fs.Int("cb", 16, "collective buffer size in MB (cb_buffer_size)"),
+		Case:    fs.String("case", "enabled", "data path: disabled | enabled | theoretical | burstbuffer"),
+		Files:   fs.Int("files", 4, "number of files written"),
+		Compute: fs.Float64("compute", 30, "compute delay between files in seconds"),
+		Nodes:   fs.Int("nodes", 64, "compute nodes"),
+		PPN:     fs.Int("ppn", 8, "ranks per node"),
+		Seed:    fs.Int64("seed", 20160901, "simulation seed"),
+		LastNHS: fs.Bool("last-sync", includeLastSync, "account the last write's non-hidden sync (IOR style)"),
+		Trace:   fs.String("trace", "", "write a Chrome trace-event JSON of all rank timelines to this file"),
+		Stats:   fs.Bool("stats", false, "print the cluster resource report after the run"),
+	}
+}
+
+// Spec builds the experiment spec from the parsed flags.
+func (f *Flags) Spec(w workloads.Workload) (harness.Spec, error) {
+	var cs harness.Case
+	switch *f.Case {
+	case "disabled":
+		cs = harness.CacheDisabled
+	case "enabled":
+		cs = harness.CacheEnabled
+	case "theoretical":
+		cs = harness.CacheTheoretical
+	case "burstbuffer":
+		cs = harness.BurstBuffer
+	default:
+		return harness.Spec{}, fmt.Errorf("unknown -case %q", *f.Case)
+	}
+	spec := harness.DefaultSpec(w, cs, *f.Aggs, int64(*f.CBMB)<<20)
+	spec.Cluster = harness.Scaled(*f.Seed, *f.Nodes, *f.PPN)
+	spec.NFiles = *f.Files
+	spec.ComputeDelay = sim.FromSeconds(*f.Compute)
+	spec.IncludeLastSync = *f.LastNHS
+	spec.Trace = *f.Trace != ""
+	return spec, nil
+}
+
+// WriteTrace exports the result's rank timelines when -trace was given.
+func (f *Flags) WriteTrace(res *harness.Result) error {
+	if *f.Trace == "" {
+		return nil
+	}
+	out, err := os.Create(*f.Trace)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return mpe.WriteChromeTrace(out, res.Logs)
+}
+
+// Report prints a Result in the style of the paper's per-cell numbers.
+func Report(out io.Writer, res *harness.Result) {
+	spec := res.Spec
+	fmt.Fprintf(out, "%s cell=%s case=%s ranks=%d files=%d compute=%.0fs\n",
+		spec.Workload.Name(), spec.Label(), spec.Case,
+		spec.Cluster.Nodes*spec.Cluster.RanksPerNode, spec.NFiles, spec.ComputeDelay.Seconds())
+	fmt.Fprintf(out, "  total data         : %.2f GB\n", float64(res.TotalBytes)/1e9)
+	fmt.Fprintf(out, "  perceived bandwidth: %.2f GB/s (Equation 2)\n", res.BandwidthGBs)
+	fmt.Fprintf(out, "  simulated wall time: %.2f s\n", res.WallTime.Seconds())
+	fmt.Fprintf(out, "  peak coll buffer   : %.1f MB\n", float64(res.PeakBufBytes)/(1<<20))
+	for k, ph := range res.Phases {
+		fmt.Fprintf(out, "  phase %d: T_c=%.3fs  close_wait=%.3fs\n", k, ph.WriteTime.Seconds(), ph.CloseWait.Seconds())
+	}
+	fmt.Fprintf(out, "  breakdown (max over ranks, all files):\n")
+	for _, ph := range mpe.BreakdownPhases {
+		if d := res.Breakdown[ph]; d > 0 {
+			fmt.Fprintf(out, "    %-16s %8.3f s\n", ph, d.Seconds())
+		}
+	}
+}
+
+// MaybeReport prints the cluster resource summary when -stats was given.
+func (f *Flags) MaybeReport(out io.Writer, res *harness.Result) {
+	if *f.Stats {
+		fmt.Fprint(out, res.Report)
+	}
+}
+
+// Fatalf prints and exits.
+func Fatalf(tool, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+	os.Exit(1)
+}

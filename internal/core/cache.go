@@ -1,0 +1,353 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adio"
+	"repro/internal/extent"
+	"repro/internal/mpe"
+	"repro/internal/mpi"
+	"repro/internal/nvm"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Env wires the cache layer into a simulated cluster: where each node's
+// local file system lives and which lock manager guards the global file
+// (for e10_cache=coherent).
+type Env struct {
+	// LocalFS returns the node-local cache file system, or nil when the
+	// node has no usable local storage (the open then falls back to the
+	// standard path, as the paper requires).
+	LocalFS func(node int) *nvm.FS
+	// Locks is the global file's byte-range lock manager, used by the
+	// coherent mode (ADIOI_WRITE_LOCK / ADIOI_UNLOCK).
+	Locks *pfs.LockManager
+	// SkipSync disables the background synchronisation entirely. This is
+	// the evaluation's "TBW Cache Enable" case: writing to the cache
+	// without flushing, measuring the theoretical bandwidth with the sync
+	// cost fully hidden.
+	SkipSync bool
+}
+
+// HooksFactory returns the adio hook factory that installs a cache on
+// files opened with e10_cache set to enable or coherent.
+func (e *Env) HooksFactory() adio.HooksFactory {
+	return func(f *adio.File) (adio.Hooks, error) {
+		opts, err := ParseOptions(f.Hints().Extra)
+		if err != nil {
+			return nil, err
+		}
+		if !opts.Enabled() {
+			return nil, nil
+		}
+		return newCache(e, f, opts)
+	}
+}
+
+// Stats counts cache-layer activity on one rank.
+type Stats struct {
+	CacheWrites      int64 // writes absorbed by the cache
+	CacheBytes       int64 // bytes absorbed by the cache
+	SyncedBytes      int64 // bytes drained to the global file system
+	SyncRequests     int64 // sync requests created
+	WriteThroughs    int64 // writes that bypassed a full cache
+	FlushWaits       int64 // flush/close operations that had to wait
+	FlushWaitTime    sim.Time
+	CoherentLockHeld int64 // extents locked by coherent mode
+	CacheReads       int64 // reads served from the local cache
+	Backoffs         int64 // adaptive-flush congestion backoffs
+}
+
+// syncReq is one pending synchronisation request: move ext from the cache
+// file to the global file, then complete the generalized request (and drop
+// the coherent-mode lock, if one is held).
+type syncReq struct {
+	ext  extent.Extent
+	greq *mpi.Request
+	lock *pfs.Lock
+}
+
+// Cache is the per-rank cache state attached to an open ADIO file. It
+// implements adio.Hooks.
+type Cache struct {
+	env   *Env
+	f     *adio.File
+	opts  Options
+	fs    *nvm.FS
+	cfile *nvm.File
+	name  string
+
+	syncer      *syncThread
+	pending     []*syncReq // created but not yet submitted (flush_onclose)
+	outstanding []*syncReq // submitted or pending; waited on at flush
+
+	Stats Stats
+}
+
+var _ adio.Hooks = (*Cache)(nil)
+
+// newCache opens the cache file (ADIOI_GEN_OpenColl extension). An error
+// here makes adio revert to the standard path.
+func newCache(env *Env, f *adio.File, opts Options) (*Cache, error) {
+	if env.LocalFS == nil {
+		return nil, errors.New("core: no local file system provider")
+	}
+	fs := env.LocalFS(f.Rank().Node().ID())
+	if fs == nil {
+		return nil, fmt.Errorf("core: node %d has no local cache storage", f.Rank().Node().ID())
+	}
+	c := &Cache{env: env, f: f, opts: opts, fs: fs}
+	c.name = fmt.Sprintf("%s/%s.cache.r%d", opts.Path, f.Path(), f.Rank().ID())
+	return c, nil
+}
+
+// AtOpenColl implements adio.Hooks: create the cache file and start the
+// sync thread.
+func (c *Cache) AtOpenColl(f *adio.File) error {
+	cf, err := c.fs.Open(c.name, true)
+	if err != nil {
+		return err
+	}
+	c.cfile = cf
+	if !c.env.SkipSync {
+		c.syncer = startSyncThread(c)
+	}
+	return nil
+}
+
+// WriteContig implements adio.Hooks: ADIOI_GEN_WriteContig writes through
+// cache_fd, allocates cache space with ADIOI_Cache_alloc (fallocate), and
+// posts a synchronisation request with an associated MPI_Request handle.
+// When the cache partition is full the write falls through to the global
+// file system (handled=false).
+func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, error) {
+	r := f.Rank()
+	p := r.Proc()
+	e := extent.Extent{Off: off, Len: size}
+
+	var lock *pfs.Lock
+	if c.opts.Mode == CacheCoherent && c.env.Locks != nil {
+		lock = c.env.Locks.Acquire(p, f.Path(), pfs.WriteLock, e)
+		c.Stats.CoherentLockHeld++
+	}
+
+	if err := c.cfile.Fallocate(p, off, size); err != nil {
+		// No space: release the lock and let the write go to the global
+		// file directly.
+		if lock != nil {
+			c.env.Locks.Unlock(lock)
+		}
+		c.Stats.WriteThroughs++
+		return false, nil
+	}
+	if err := c.cfile.WriteAt(p, data, off, size); err != nil {
+		if lock != nil {
+			c.env.Locks.Unlock(lock)
+		}
+		c.Stats.WriteThroughs++
+		return false, nil
+	}
+	c.Stats.CacheWrites++
+	c.Stats.CacheBytes += size
+
+	if c.env.SkipSync {
+		if lock != nil {
+			c.env.Locks.Unlock(lock)
+		}
+		return true, nil
+	}
+	req := &syncReq{ext: e, greq: r.World().NewGrequest(), lock: lock}
+	c.Stats.SyncRequests++
+	c.outstanding = append(c.outstanding, req)
+	if c.opts.FlushFlag == FlushOnClose {
+		c.pending = append(c.pending, req)
+	} else {
+		// flush_immediate and flush_adaptive both start sync right away.
+		c.syncer.submit(req)
+	}
+	return true, nil
+}
+
+// ReadContig implements adio.ReadHooks (the paper's future-work cache-read
+// extension, guarded by the e10_cache_read hint): a read whose extent is
+// fully present in this rank's cache file is served from the local SSD
+// without touching the global file system. This is always consistent with
+// the reading rank's own writes; cross-rank reads still go to the global
+// file.
+func (c *Cache) ReadContig(f *adio.File, buf []byte, off, size int64) (bool, error) {
+	if !c.opts.ReadCache || c.cfile == nil {
+		return false, nil
+	}
+	if buf != nil {
+		size = int64(len(buf))
+	}
+	if !c.cfile.Store().Written().Covers(extent.Extent{Off: off, Len: size}) {
+		return false, nil
+	}
+	c.cfile.ReadAt(f.Rank().Proc(), buf, off, size)
+	c.Stats.CacheReads++
+	return true, nil
+}
+
+// AtFlush implements adio.Hooks: ADIOI_GEN_Flush. With flush_immediate it
+// waits for previously started sync requests; with flush_onclose it first
+// hands all pending requests to the sync thread, then waits. The wait time
+// is the not_hidden_sync term of Equation 1 and is recorded as such.
+func (c *Cache) AtFlush(f *adio.File) error {
+	if c.env.SkipSync {
+		return nil
+	}
+	for _, req := range c.pending {
+		c.syncer.submit(req)
+	}
+	c.pending = nil
+	r := f.Rank()
+	start := r.Now()
+	for _, req := range c.outstanding {
+		r.Wait(req.greq)
+	}
+	c.outstanding = nil
+	if wait := r.Now() - start; wait > 0 {
+		c.Stats.FlushWaits++
+		c.Stats.FlushWaitTime += wait
+		f.Log().Add(mpe.PhaseNotHiddenSync, wait)
+	}
+	return nil
+}
+
+// AtClose implements adio.Hooks: ADIO_Close invokes ADIOI_GEN_Flush to
+// drain the cache, stops the sync thread, closes the cache file and, when
+// e10_cache_discard_flag is enable, removes it to free local space.
+func (c *Cache) AtClose(f *adio.File) error {
+	err := c.AtFlush(f)
+	if c.syncer != nil {
+		c.syncer.stop()
+	}
+	if c.opts.Discard && c.cfile != nil {
+		if rerr := c.fs.Remove(c.name); rerr != nil && err == nil {
+			err = rerr
+		}
+		c.cfile = nil
+	}
+	return err
+}
+
+// CacheFile exposes the underlying cache file (nil after a discarding
+// close); tests use it to inspect retained cache contents.
+func (c *Cache) CacheFile() *nvm.File { return c.cfile }
+
+// Outstanding returns the number of sync requests not yet completed.
+func (c *Cache) Outstanding() int {
+	n := 0
+	for _, req := range c.outstanding {
+		if !req.greq.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// syncThread is the background cache-synchronisation agent
+// (ADIOI_Sync_thread_start): a dedicated simulated thread that reads data
+// back from the cache file into the synchronisation buffer
+// (ind_wr_buffer_size bytes at a time) and writes it to the global file,
+// then calls MPI_Grequest_complete on the request handle.
+type syncThread struct {
+	c       *Cache
+	queue   []*syncReq
+	cond    *sim.Cond
+	stopped bool
+	proc    *sim.Proc
+}
+
+func startSyncThread(c *Cache) *syncThread {
+	k := c.f.Rank().Proc().Kernel()
+	st := &syncThread{c: c, cond: sim.NewCond(k)}
+	name := fmt.Sprintf("sync.%s.r%d", c.f.Path(), c.f.Rank().ID())
+	st.proc = k.Spawn(name, st.run)
+	return st
+}
+
+// submit enqueues a request for background synchronisation.
+func (st *syncThread) submit(req *syncReq) {
+	st.queue = append(st.queue, req)
+	st.cond.Signal()
+}
+
+// stop terminates the thread once the queue is drained.
+func (st *syncThread) stop() {
+	st.stopped = true
+	st.cond.Signal()
+}
+
+func (st *syncThread) run(p *sim.Proc) {
+	c := st.c
+	bufSize := c.f.Hints().IndWrBufferSize
+	if bufSize <= 0 {
+		bufSize = adio.DefaultIndWrBufferSize
+	}
+	for {
+		for len(st.queue) == 0 {
+			if st.stopped {
+				return
+			}
+			st.cond.Wait(p)
+		}
+		req := st.queue[0]
+		st.queue = st.queue[1:]
+		// Drain the extent through the synchronisation buffer: a serial
+		// read(cache) -> write(global) pipeline in bufSize chunks, exactly
+		// like the pthread implementation in the paper.
+		adaptive := c.opts.FlushFlag == FlushAdaptive
+		var baseline sim.Time
+		for off := req.ext.Off; off < req.ext.End(); off += bufSize {
+			n := min64(bufSize, req.ext.End()-off)
+			start := p.Now()
+			buf := c.readChunk(p, off, n)
+			c.f.Backend().WriteContig(p, buf, off, n)
+			c.Stats.SyncedBytes += n
+			if !adaptive {
+				continue
+			}
+			// Congestion-aware pacing (§III suggestion): track the best
+			// observed chunk time as the uncongested baseline and back off
+			// by the excess when a chunk runs far above it, ceding the
+			// I/O servers to foreground traffic.
+			took := p.Now() - start
+			if baseline == 0 || took < baseline {
+				baseline = took
+			}
+			if took > 2*baseline {
+				c.Stats.Backoffs++
+				p.Sleep(took - baseline)
+			}
+		}
+		if req.lock != nil {
+			c.env.Locks.Unlock(req.lock)
+		}
+		req.greq.Complete()
+	}
+}
+
+// readChunk reads n bytes at off from the cache file, returning real bytes
+// when a payload-carrying store backs the cache file and nil otherwise
+// (the device time cost is charged either way).
+func (c *Cache) readChunk(p *sim.Proc, off, n int64) []byte {
+	if _, isMem := c.cfile.Store().(store.PayloadBacked); isMem {
+		buf := make([]byte, n)
+		c.cfile.ReadAt(p, buf, off, n)
+		return buf
+	}
+	c.cfile.ReadAt(p, nil, off, n)
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

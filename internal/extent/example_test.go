@@ -1,0 +1,29 @@
+package extent_test
+
+import (
+	"fmt"
+
+	"repro/internal/extent"
+)
+
+func ExampleSet_Gaps() {
+	var s extent.Set
+	s.Add(extent.Extent{Off: 0, Len: 4096})
+	s.Add(extent.Extent{Off: 8192, Len: 4096})
+	for _, g := range s.Gaps(extent.Extent{Off: 0, Len: 16384}) {
+		fmt.Println(g)
+	}
+	// Output:
+	// [4096,8192)
+	// [12288,16384)
+}
+
+func ExampleSet_Add() {
+	var s extent.Set
+	s.Add(extent.Extent{Off: 0, Len: 100})
+	s.Add(extent.Extent{Off: 200, Len: 100})
+	s.Add(extent.Extent{Off: 100, Len: 100}) // bridges the two
+	fmt.Println(s.Len(), s.TotalBytes())
+	// Output:
+	// 1 300
+}

@@ -1,0 +1,216 @@
+// Package extent provides byte-range (offset, length) arithmetic and a
+// coalescing interval set. It underpins sparse file stores, cache
+// dirty-extent tracking and byte-range lock management.
+package extent
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Extent is a half-open byte range [Off, Off+Len).
+type Extent struct {
+	Off int64
+	Len int64
+}
+
+// End returns the exclusive end offset.
+func (e Extent) End() int64 { return e.Off + e.Len }
+
+// Empty reports whether the extent covers no bytes.
+func (e Extent) Empty() bool { return e.Len <= 0 }
+
+// Contains reports whether offset o lies inside the extent.
+func (e Extent) Contains(o int64) bool { return o >= e.Off && o < e.End() }
+
+// Overlaps reports whether e and o share at least one byte.
+func (e Extent) Overlaps(o Extent) bool {
+	return !e.Empty() && !o.Empty() && e.Off < o.End() && o.Off < e.End()
+}
+
+// Intersect returns the overlapping part of e and o (possibly empty).
+func (e Extent) Intersect(o Extent) Extent {
+	off := max64(e.Off, o.Off)
+	end := min64(e.End(), o.End())
+	if end <= off {
+		return Extent{Off: off, Len: 0}
+	}
+	return Extent{Off: off, Len: end - off}
+}
+
+// Union returns the smallest extent covering both e and o. The two must
+// overlap or touch; otherwise Union panics.
+func (e Extent) Union(o Extent) Extent {
+	if !e.Overlaps(o) && e.End() != o.Off && o.End() != e.Off {
+		panic(fmt.Sprintf("extent: union of disjoint extents %v and %v", e, o))
+	}
+	off := min64(e.Off, o.Off)
+	end := max64(e.End(), o.End())
+	return Extent{Off: off, Len: end - off}
+}
+
+// Covers reports whether e fully contains o (empty extents are covered).
+func (e Extent) Covers(o Extent) bool {
+	return o.Empty() || (e.Off <= o.Off && e.End() >= o.End())
+}
+
+// String implements fmt.Stringer.
+func (e Extent) String() string { return fmt.Sprintf("[%d,%d)", e.Off, e.End()) }
+
+// Set is a sorted, coalesced set of non-overlapping extents.
+type Set struct {
+	ext []Extent // sorted by Off; no overlaps, no touching neighbours
+}
+
+// Add inserts e into the set, merging with overlapping or adjacent extents.
+func (s *Set) Add(e Extent) {
+	if e.Empty() {
+		return
+	}
+	// Find the window of extents that overlap or touch e.
+	i := sort.Search(len(s.ext), func(i int) bool { return s.ext[i].End() >= e.Off })
+	j := i
+	for j < len(s.ext) && s.ext[j].Off <= e.End() {
+		j++
+	}
+	s.ext = mergeInto(s.ext, i, j, e)
+}
+
+// mergeInto replaces s.ext[i:j] with the union of e and those extents.
+func mergeInto(ext []Extent, i, j int, e Extent) []Extent {
+	lo, hi := e.Off, e.End()
+	for k := i; k < j; k++ {
+		lo = min64(lo, ext[k].Off)
+		hi = max64(hi, ext[k].End())
+	}
+	merged := Extent{Off: lo, Len: hi - lo}
+	out := make([]Extent, 0, len(ext)-(j-i)+1)
+	out = append(out, ext[:i]...)
+	out = append(out, merged)
+	out = append(out, ext[j:]...)
+	return out
+}
+
+// Extents returns a copy of the extents in ascending offset order.
+func (s *Set) Extents() []Extent {
+	out := make([]Extent, len(s.ext))
+	copy(out, s.ext)
+	return out
+}
+
+// Len returns the number of disjoint extents.
+func (s *Set) Len() int { return len(s.ext) }
+
+// TotalBytes returns the number of bytes covered.
+func (s *Set) TotalBytes() int64 {
+	var n int64
+	for _, e := range s.ext {
+		n += e.Len
+	}
+	return n
+}
+
+// Covers reports whether every byte of e is in the set.
+func (s *Set) Covers(e Extent) bool {
+	if e.Empty() {
+		return true
+	}
+	i := sort.Search(len(s.ext), func(i int) bool { return s.ext[i].End() > e.Off })
+	return i < len(s.ext) && s.ext[i].Off <= e.Off && s.ext[i].End() >= e.End()
+}
+
+// Overlaps reports whether any byte of e is in the set.
+func (s *Set) Overlaps(e Extent) bool {
+	if e.Empty() {
+		return false
+	}
+	i := sort.Search(len(s.ext), func(i int) bool { return s.ext[i].End() > e.Off })
+	return i < len(s.ext) && s.ext[i].Off < e.End()
+}
+
+// Remove deletes e's byte range from the set, splitting extents as needed.
+func (s *Set) Remove(e Extent) {
+	if e.Empty() || len(s.ext) == 0 {
+		return
+	}
+	var out []Extent
+	for _, x := range s.ext {
+		if !x.Overlaps(e) {
+			out = append(out, x)
+			continue
+		}
+		if x.Off < e.Off {
+			out = append(out, Extent{Off: x.Off, Len: e.Off - x.Off})
+		}
+		if x.End() > e.End() {
+			out = append(out, Extent{Off: e.End(), Len: x.End() - e.End()})
+		}
+	}
+	s.ext = out
+}
+
+// Gaps returns the sub-ranges of e not covered by the set, in order.
+func (s *Set) Gaps(e Extent) []Extent {
+	if e.Empty() {
+		return nil
+	}
+	var gaps []Extent
+	cur := e.Off
+	for _, x := range s.ext {
+		if x.End() <= cur {
+			continue
+		}
+		if x.Off >= e.End() {
+			break
+		}
+		if x.Off > cur {
+			gaps = append(gaps, Extent{Off: cur, Len: x.Off - cur})
+		}
+		if x.End() > cur {
+			cur = x.End()
+		}
+	}
+	if cur < e.End() {
+		gaps = append(gaps, Extent{Off: cur, Len: e.End() - cur})
+	}
+	return gaps
+}
+
+// Clear empties the set.
+func (s *Set) Clear() { s.ext = nil }
+
+// Max returns the largest covered offset+1, or 0 for an empty set.
+func (s *Set) Max() int64 {
+	if len(s.ext) == 0 {
+		return 0
+	}
+	return s.ext[len(s.ext)-1].End()
+}
+
+// Validate checks the internal invariants (sortedness, no overlap or
+// adjacency) and returns an error describing the first violation.
+func (s *Set) Validate() error {
+	for i, e := range s.ext {
+		if e.Len <= 0 {
+			return fmt.Errorf("extent %d empty: %v", i, e)
+		}
+		if i > 0 && s.ext[i-1].End() >= e.Off {
+			return fmt.Errorf("extents %d and %d overlap or touch: %v %v", i-1, i, s.ext[i-1], e)
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

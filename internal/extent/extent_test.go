@@ -1,0 +1,194 @@
+package extent
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtentBasics(t *testing.T) {
+	e := Extent{Off: 10, Len: 5}
+	if e.End() != 15 || e.Empty() {
+		t.Fatal("end/empty wrong")
+	}
+	if !e.Contains(10) || !e.Contains(14) || e.Contains(15) || e.Contains(9) {
+		t.Fatal("contains wrong")
+	}
+	if e.String() != "[10,15)" {
+		t.Fatalf("string = %q", e.String())
+	}
+}
+
+func TestOverlapsAndIntersect(t *testing.T) {
+	a := Extent{0, 10}
+	b := Extent{5, 10}
+	c := Extent{10, 5}
+	if !a.Overlaps(b) || a.Overlaps(c) {
+		t.Fatal("overlap wrong")
+	}
+	got := a.Intersect(b)
+	if got.Off != 5 || got.Len != 5 {
+		t.Fatalf("intersect = %v", got)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("touching extents must not intersect")
+	}
+}
+
+func TestUnionTouching(t *testing.T) {
+	u := Extent{0, 10}.Union(Extent{10, 5})
+	if u.Off != 0 || u.Len != 15 {
+		t.Fatalf("union = %v", u)
+	}
+}
+
+func TestUnionDisjointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Extent{0, 5}.Union(Extent{10, 5})
+}
+
+func TestSetAddCoalesces(t *testing.T) {
+	var s Set
+	s.Add(Extent{0, 10})
+	s.Add(Extent{20, 10})
+	s.Add(Extent{10, 10}) // bridges the two
+	if s.Len() != 1 {
+		t.Fatalf("want 1 extent, got %v", s.Extents())
+	}
+	if s.TotalBytes() != 30 || s.Max() != 30 {
+		t.Fatalf("total=%d max=%d", s.TotalBytes(), s.Max())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAddAdjacentMerges(t *testing.T) {
+	var s Set
+	s.Add(Extent{0, 5})
+	s.Add(Extent{5, 5})
+	if s.Len() != 1 {
+		t.Fatalf("adjacent extents must merge: %v", s.Extents())
+	}
+}
+
+func TestSetCovers(t *testing.T) {
+	var s Set
+	s.Add(Extent{0, 10})
+	s.Add(Extent{20, 10})
+	if !s.Covers(Extent{2, 5}) || s.Covers(Extent{5, 10}) || s.Covers(Extent{15, 2}) {
+		t.Fatal("covers wrong")
+	}
+	if !s.Covers(Extent{20, 0}) {
+		t.Fatal("empty extent must always be covered")
+	}
+}
+
+func TestSetOverlaps(t *testing.T) {
+	var s Set
+	s.Add(Extent{10, 10})
+	if s.Overlaps(Extent{0, 10}) || !s.Overlaps(Extent{0, 11}) || !s.Overlaps(Extent{19, 5}) || s.Overlaps(Extent{20, 5}) {
+		t.Fatal("overlaps wrong")
+	}
+}
+
+func TestSetRemoveSplits(t *testing.T) {
+	var s Set
+	s.Add(Extent{0, 30})
+	s.Remove(Extent{10, 10})
+	got := s.Extents()
+	if len(got) != 2 || got[0] != (Extent{0, 10}) || got[1] != (Extent{20, 10}) {
+		t.Fatalf("remove split = %v", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGaps(t *testing.T) {
+	var s Set
+	s.Add(Extent{10, 10})
+	s.Add(Extent{30, 10})
+	gaps := s.Gaps(Extent{0, 50})
+	want := []Extent{{0, 10}, {20, 10}, {40, 10}}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+	if g := s.Gaps(Extent{10, 10}); len(g) != 0 {
+		t.Fatalf("covered range must have no gaps, got %v", g)
+	}
+}
+
+func TestSetClear(t *testing.T) {
+	var s Set
+	s.Add(Extent{0, 5})
+	s.Clear()
+	if s.Len() != 0 || s.Max() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+// Property: a Set behaves like a set of bytes under Add/Remove.
+func TestSetMatchesNaiveModel(t *testing.T) {
+	const universe = 256
+	f := func(seed int64, nOps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s Set
+		model := make(map[int64]bool)
+		for op := 0; op < int(nOps%40)+5; op++ {
+			off := r.Int63n(universe)
+			length := r.Int63n(universe/4) + 1
+			e := Extent{Off: off, Len: length}
+			if r.Intn(3) == 0 {
+				s.Remove(e)
+				for b := e.Off; b < e.End(); b++ {
+					delete(model, b)
+				}
+			} else {
+				s.Add(e)
+				for b := e.Off; b < e.End(); b++ {
+					model[b] = true
+				}
+			}
+			if err := s.Validate(); err != nil {
+				t.Logf("invariant violated: %v", err)
+				return false
+			}
+		}
+		// Compare byte-by-byte coverage.
+		var bytes []int64
+		for b := range model {
+			bytes = append(bytes, b)
+		}
+		sort.Slice(bytes, func(i, j int) bool { return bytes[i] < bytes[j] })
+		if int64(len(bytes)) != s.TotalBytes() {
+			t.Logf("total bytes %d != model %d", s.TotalBytes(), len(bytes))
+			return false
+		}
+		for b := int64(0); b < universe+universe/4; b++ {
+			if model[b] != s.Covers(Extent{Off: b, Len: 1}) {
+				t.Logf("byte %d: model=%v set=%v", b, model[b], !model[b])
+				return false
+			}
+		}
+		// Gaps over the whole universe must exactly complement coverage.
+		covered := int64(0)
+		for _, g := range s.Gaps(Extent{0, universe * 2}) {
+			covered += g.Len
+		}
+		return covered == universe*2-s.TotalBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package harness assembles the simulated DEEP-ER cluster and regenerates
+// every figure of the paper's evaluation: the perceived-bandwidth sweeps
+// (Figures 4, 7, 9) and the collective-I/O cost breakdowns (Figures 5, 6,
+// 8, 10), over the <aggregators>_<coll_bufsize> grid, for the three cases
+// BW Cache Disabled, BW Cache Enabled and TBW Cache Enabled.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/adio"
+	"repro/internal/burst"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/netsim"
+	"repro/internal/nvm"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// ClusterConfig describes one simulated machine.
+type ClusterConfig struct {
+	Seed         int64
+	Nodes        int
+	RanksPerNode int
+	Net          netsim.Config
+	PFS          pfs.Config
+	SSD          nvm.DeviceConfig
+	Payload      bool // real bytes (tests) vs extents only (big runs)
+	// BurstBuffer, when non-nil, provisions dedicated burst-buffer proxy
+	// nodes (the §V comparator architecture) in addition to the compute
+	// nodes. The harness selects the tier per experiment case.
+	BurstBuffer *burst.Config
+}
+
+// DeepER returns the testbed of §IV-A: 64 nodes × 8 ranks, BeeGFS with four
+// ~500 MB/s data targets, one SATA SSD per node, InfiniBand QDR.
+func DeepER(seed int64) ClusterConfig {
+	return ClusterConfig{
+		Seed:         seed,
+		Nodes:        64,
+		RanksPerNode: 8,
+		Net:          netsim.DefaultConfig(64),
+		PFS:          pfs.DefaultConfig(),
+		SSD:          nvm.DefaultDeviceConfig(),
+	}
+}
+
+// Scaled shrinks the DEEP-ER profile for fast tests while keeping the
+// hardware ratios.
+func Scaled(seed int64, nodes, perNode int) ClusterConfig {
+	cfg := DeepER(seed)
+	cfg.Nodes = nodes
+	cfg.RanksPerNode = perNode
+	cfg.Net = netsim.DefaultConfig(nodes)
+	return cfg
+}
+
+// Cluster is one assembled machine.
+type Cluster struct {
+	Cfg     ClusterConfig
+	Kernel  *sim.Kernel
+	Fabric  *netsim.Fabric
+	FS      *pfs.System
+	World   *mpi.World
+	NVMs    []*nvm.FS
+	Clients []*pfs.Client
+	Env     *mpiio.Env
+	CoreEnv *core.Env
+	BB      *burst.Pool // nil unless Cfg.BurstBuffer is set
+}
+
+// NewCluster builds the machine: kernel, fabric, global file system with
+// one client per node, one SSD file system per node, MPI world, driver
+// registry (BeeGFS as default driver) and the E10 cache environment.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	k := sim.NewKernel(cfg.Seed)
+	netCfg := cfg.Net
+	bbProxies := 0
+	if cfg.BurstBuffer != nil {
+		bbProxies = cfg.BurstBuffer.Proxies
+		netCfg.Nodes = cfg.Nodes + bbProxies
+	}
+	fab := netsim.New(k, netCfg)
+	factory := store.NewNull
+	if cfg.Payload {
+		factory = store.NewMem
+	}
+	fs := pfs.New(k, cfg.PFS, factory)
+	clients := make([]*pfs.Client, cfg.Nodes)
+	nvms := make([]*nvm.FS, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		clients[i] = fs.NewClient(fab.Node(i))
+		dev := nvm.NewDevice(k, fmt.Sprintf("ssd.n%d", i), cfg.SSD)
+		nvms[i] = nvm.NewFS(dev, nvm.FSConfig{SupportsFallocate: true}, factory)
+	}
+	w := mpi.NewWorldOn(k, fab, cfg.RanksPerNode, cfg.Nodes)
+	drv := adio.NewBeeGFSDriver(func(n int) *pfs.Client { return clients[n] })
+	reg := adio.NewRegistry(drv)
+	reg.Mount("ufs", adio.NewUFSDriver(func(n int) *pfs.Client { return clients[n] }))
+	coreEnv := &core.Env{
+		LocalFS: func(n int) *nvm.FS { return nvms[n] },
+		Locks:   fs.Locks,
+	}
+	env := &mpiio.Env{Registry: reg, Hooks: coreEnv.HooksFactory()}
+	cl := &Cluster{
+		Cfg: cfg, Kernel: k, Fabric: fab, FS: fs, World: w,
+		NVMs: nvms, Clients: clients, Env: env, CoreEnv: coreEnv,
+	}
+	if cfg.BurstBuffer != nil {
+		bbNodes := make([]*netsim.Node, bbProxies)
+		bbClients := make([]*pfs.Client, bbProxies)
+		for i := 0; i < bbProxies; i++ {
+			bbNodes[i] = fab.Node(cfg.Nodes + i)
+			bbClients[i] = fs.NewClient(bbNodes[i])
+		}
+		cl.BB = burst.NewPool(k, *cfg.BurstBuffer, bbNodes, bbClients, factory)
+	}
+	return cl
+}

@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mpe"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Sweep describes the <aggregators>_<coll_bufsize> grid of §IV: aggregators
+// from 8 to 64 and collective buffers from 4 MB to 64 MB.
+type Sweep struct {
+	Aggregators []int
+	CBBytes     []int64
+	Cluster     ClusterConfig
+	NFiles      int
+	Compute     sim.Time
+}
+
+// PaperSweep returns the full evaluation grid on the DEEP-ER profile.
+func PaperSweep(seed int64) Sweep {
+	return Sweep{
+		Aggregators: []int{8, 16, 32, 64},
+		CBBytes:     []int64{4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20},
+		Cluster:     DeepER(seed),
+		NFiles:      4,
+		Compute:     30 * sim.Second,
+	}
+}
+
+// QuickSweep returns a reduced grid for fast regeneration (same corners,
+// fewer interior points).
+func QuickSweep(seed int64) Sweep {
+	s := PaperSweep(seed)
+	s.CBBytes = []int64{4 << 20, 16 << 20, 64 << 20}
+	return s
+}
+
+// CellResult pairs a cell label with its per-case results.
+type CellResult struct {
+	Aggregators int
+	CBBytes     int64
+	Results     map[Case]*Result
+}
+
+// Label returns "<aggregators>_<coll_bufsize>".
+func (c CellResult) Label() string {
+	return fmt.Sprintf("%d_%dmb", c.Aggregators, c.CBBytes>>20)
+}
+
+// SweepResult holds a full workload sweep.
+type SweepResult struct {
+	Workload string
+	Cells    []CellResult
+}
+
+// RunSweep executes every cell of the sweep for the given cases. The same
+// results feed both the bandwidth figure and the breakdown figures of a
+// workload. includeLastSync mirrors the IOR experiment's accounting.
+func RunSweep(w workloads.Workload, cases []Case, sw Sweep, includeLastSync bool) (*SweepResult, error) {
+	out := &SweepResult{Workload: w.Name()}
+	for _, aggs := range sw.Aggregators {
+		for _, cb := range sw.CBBytes {
+			cell := CellResult{Aggregators: aggs, CBBytes: cb, Results: make(map[Case]*Result)}
+			for _, cs := range cases {
+				spec := Spec{
+					Workload:        w,
+					Cluster:         sw.Cluster,
+					Case:            cs,
+					Aggregators:     aggs,
+					CBBuffer:        cb,
+					NFiles:          sw.NFiles,
+					ComputeDelay:    sw.Compute,
+					IncludeLastSync: includeLastSync,
+					StripeSize:      4 << 20,
+					StripeCount:     4,
+					SyncBuffer:      512 << 10,
+				}
+				res, err := Run(spec)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s %s: %w", w.Name(), cell.Label(), cs, err)
+				}
+				cell.Results[cs] = res
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
+// AllCases is the case list of the bandwidth figures.
+var AllCases = []Case{CacheDisabled, CacheEnabled, CacheTheoretical}
+
+// caseTitle maps cases to the paper's legend strings.
+func caseTitle(c Case) string {
+	switch c {
+	case CacheDisabled:
+		return "BW Cache Disabled"
+	case CacheEnabled:
+		return "BW Cache Enabled"
+	case CacheTheoretical:
+		return "TBW Cache Enable"
+	}
+	return string(c)
+}
+
+// RenderBandwidth renders a Figure 4/7/9-style table: one row per cell,
+// one column per case, in GB/s.
+func (sr *SweepResult) RenderBandwidth(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s perceived write bandwidth [GB/s]\n", title, sr.Workload)
+	fmt.Fprintf(&b, "%-10s", "cell")
+	var cases []Case
+	for _, cs := range AllCases {
+		if len(sr.Cells) > 0 && sr.Cells[0].Results[cs] != nil {
+			cases = append(cases, cs)
+			fmt.Fprintf(&b, " %22s", caseTitle(cs))
+		}
+	}
+	b.WriteByte('\n')
+	for _, cell := range sr.Cells {
+		fmt.Fprintf(&b, "%-10s", cell.Label())
+		for _, cs := range cases {
+			fmt.Fprintf(&b, " %22.2f", cell.Results[cs].BandwidthGBs)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderBreakdown renders a Figure 5/6/8/10-style table: the per-phase
+// collective I/O cost contributions (max over ranks, summed over files) for
+// one case, one row per cell.
+func (sr *SweepResult) RenderBreakdown(title string, cs Case) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s collective I/O contribution breakdown (%s) [s]\n",
+		title, sr.Workload, caseTitle(cs))
+	fmt.Fprintf(&b, "%-10s", "cell")
+	for _, ph := range mpe.BreakdownPhases {
+		fmt.Fprintf(&b, " %16s", ph)
+	}
+	b.WriteByte('\n')
+	for _, cell := range sr.Cells {
+		res := cell.Results[cs]
+		if res == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s", cell.Label())
+		for _, ph := range mpe.BreakdownPhases {
+			fmt.Fprintf(&b, " %16.3f", res.Breakdown[ph].Seconds())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCSV emits the sweep as CSV for external plotting.
+func (sr *SweepResult) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString("workload,aggregators,cb_mb,case,bandwidth_gbs,peak_buf_mb")
+	for _, ph := range mpe.BreakdownPhases {
+		fmt.Fprintf(&b, ",%s_s", ph)
+	}
+	b.WriteByte('\n')
+	for _, cell := range sr.Cells {
+		var cases []Case
+		for cs := range cell.Results {
+			cases = append(cases, cs)
+		}
+		sort.Slice(cases, func(i, j int) bool { return cases[i] < cases[j] })
+		for _, cs := range cases {
+			res := cell.Results[cs]
+			fmt.Fprintf(&b, "%s,%d,%d,%s,%.3f,%.1f", sr.Workload, cell.Aggregators, cell.CBBytes>>20, cs,
+				res.BandwidthGBs, float64(res.PeakBufBytes)/(1<<20))
+			for _, ph := range mpe.BreakdownPhases {
+				fmt.Fprintf(&b, ",%.3f", res.Breakdown[ph].Seconds())
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ClusterReport summarises resource usage after a run: data-target
+// utilizations and stored bytes, metadata traffic, SSD traffic and NIC
+// volumes. It is the post-mortem view the benchmark commands print with
+// -stats.
+func ClusterReport(cl *Cluster) string {
+	var b strings.Builder
+	horizon := cl.Kernel.Now()
+	fmt.Fprintf(&b, "cluster report at t=%v\n", horizon)
+
+	fmt.Fprintf(&b, "  global file system: %.2f GB stored, %d metadata ops\n",
+		float64(cl.FS.TotalBytesWritten())/1e9, cl.FS.MetaOps())
+	util := cl.FS.TargetUtilization(horizon)
+	bytes := cl.FS.TargetBytes()
+	for i := range util {
+		fmt.Fprintf(&b, "    target %d: %5.1f%% busy, %.2f GB\n", i, util[i]*100, float64(bytes[i])/1e9)
+	}
+
+	var ssdW, ssdR, ssdUsed int64
+	for _, fs := range cl.NVMs {
+		ssdW += fs.Device().BytesWritten
+		ssdR += fs.Device().BytesRead
+		ssdUsed += fs.Device().Used()
+	}
+	fmt.Fprintf(&b, "  local SSDs: %.2f GB written, %.2f GB read back, %.2f GB still allocated\n",
+		float64(ssdW)/1e9, float64(ssdR)/1e9, float64(ssdUsed)/1e9)
+
+	var tx, rx int64
+	perNode := make([]int64, cl.Fabric.Nodes())
+	for i := 0; i < cl.Fabric.Nodes(); i++ {
+		n := cl.Fabric.Node(i)
+		tx += n.TxBytes()
+		rx += n.RxBytes()
+		perNode[i] = n.TxBytes()
+	}
+	sort.Slice(perNode, func(i, j int) bool { return perNode[i] > perNode[j] })
+	fmt.Fprintf(&b, "  network: %.2f GB injected, %.2f GB delivered", float64(tx)/1e9, float64(rx)/1e9)
+	if len(perNode) > 0 {
+		fmt.Fprintf(&b, " (busiest node injected %.2f GB)", float64(perNode[0])/1e9)
+	}
+	b.WriteByte('\n')
+
+	var waits int64
+	var waitTime sim.Time
+	if cl.FS.Locks != nil {
+		waits = cl.FS.Locks.Waits
+		waitTime = cl.FS.Locks.WaitTime
+	}
+	if waits > 0 {
+		fmt.Fprintf(&b, "  byte-range locks: %d waits, %v total wait\n", waits, waitTime)
+	}
+	return b.String()
+}

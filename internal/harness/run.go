@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/adio"
+	"repro/internal/burst"
+	"repro/internal/core"
+	"repro/internal/mpe"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Case selects one of the evaluation's three data paths.
+type Case string
+
+// The three cases of Figures 4, 7 and 9.
+const (
+	// CacheDisabled writes directly to the global file system
+	// ("BW Cache Disabled").
+	CacheDisabled Case = "disabled"
+	// CacheEnabled writes to the local SSD cache and flushes it to the
+	// global file system asynchronously ("BW Cache Enabled").
+	CacheEnabled Case = "enabled"
+	// CacheTheoretical writes to the cache without flushing — the
+	// theoretical bandwidth with synchronisation cost fully hidden
+	// ("TBW Cache Enable").
+	CacheTheoretical Case = "theoretical"
+	// BurstBuffer stages writes in a small tier of dedicated NVMe proxies
+	// (the §V comparator architecture) instead of node-local SSDs. Not
+	// part of the paper's evaluation; used by the comparison benches.
+	BurstBuffer Case = "burstbuffer"
+)
+
+// Spec describes one experiment cell.
+type Spec struct {
+	Workload     workloads.Workload
+	Cluster      ClusterConfig
+	Case         Case
+	Aggregators  int      // cb_nodes
+	CBBuffer     int64    // cb_buffer_size in bytes
+	NFiles       int      // files written per run (paper: 4 × 32 GB)
+	ComputeDelay sim.Time // emulated compute phase (paper: 30 s)
+	// IncludeLastSync adds the last write phase's non-hidden
+	// synchronisation to the total time, as the IOR experiment does
+	// (§IV-D); coll_perf and Flash-IO exclude it (§IV-B).
+	IncludeLastSync bool
+	StripeSize      int64  // file stripe size (paper: 4 MB)
+	StripeCount     int    // file stripe count (paper: 4)
+	SyncBuffer      int64  // ind_wr_buffer_size (paper: 512 KB)
+	FlushFlag       string // e10_cache_flush_flag (default flush_immediate)
+	Trace           bool   // record per-rank phase timelines (Result.Logs)
+	// ExtraHints are merged into the MPI_Info last (e.g. cb_config_list
+	// for placement experiments, e10_cache_read, ...).
+	ExtraHints map[string]string
+}
+
+// DefaultSpec returns the paper's experiment parameters for a workload and
+// cell, on the full DEEP-ER profile.
+func DefaultSpec(w workloads.Workload, c Case, aggs int, cbBytes int64) Spec {
+	return Spec{
+		Workload:     w,
+		Cluster:      DeepER(20160901),
+		Case:         c,
+		Aggregators:  aggs,
+		CBBuffer:     cbBytes,
+		NFiles:       4,
+		ComputeDelay: 30 * sim.Second,
+		StripeSize:   4 << 20,
+		StripeCount:  4,
+		SyncBuffer:   512 << 10,
+	}
+}
+
+// PhaseMetrics captures one file's timings (the terms of Equation 1).
+type PhaseMetrics struct {
+	WriteTime sim.Time // T_c(k): collective write to cache or global FS
+	CloseWait sim.Time // max(0, T_s(k) - C(k+1)): non-hidden sync at close
+}
+
+// Result is one experiment cell's outcome.
+type Result struct {
+	Spec       Spec
+	TotalBytes int64
+	Phases     []PhaseMetrics
+	// BandwidthGBs is the perceived bandwidth of Equation 2 in GB/s.
+	BandwidthGBs float64
+	// Breakdown holds the max-over-ranks per-phase times summed over all
+	// write phases (the stacked bars of Figures 5, 6, 8, 10).
+	Breakdown map[mpe.Phase]sim.Time
+	// WallTime is the total simulated run time.
+	WallTime sim.Time
+	// PeakBufBytes is the largest collective buffer allocated on any rank
+	// (memory pressure, the paper's point (d)).
+	PeakBufBytes int64
+	// Logs holds the per-rank MPE logs (with timelines when Spec.Trace is
+	// set), for trace export via mpe.WriteChromeTrace.
+	Logs []*mpe.Log
+	// Report is the post-run cluster resource summary (ClusterReport).
+	Report string
+}
+
+// Label renders the cell name the paper uses on its x axes,
+// "<aggregators>_<coll_bufsize>".
+func (s Spec) Label() string {
+	return fmt.Sprintf("%d_%dmb", s.Aggregators, s.CBBuffer>>20)
+}
+
+// hints builds the MPI_Info for the run.
+func (s Spec) hints() mpi.Info {
+	info := mpi.Info{
+		adio.HintCBWrite:         adio.HintEnable,
+		adio.HintCBNodes:         strconv.Itoa(s.Aggregators),
+		adio.HintCBBufferSize:    strconv.FormatInt(s.CBBuffer, 10),
+		adio.HintStripingUnit:    strconv.FormatInt(s.StripeSize, 10),
+		adio.HintStripingFactor:  strconv.Itoa(s.StripeCount),
+		adio.HintIndWrBufferSize: strconv.FormatInt(s.SyncBuffer, 10),
+	}
+	switch s.Case {
+	case CacheDisabled, BurstBuffer:
+		info[core.HintCache] = core.CacheDisable
+	case CacheEnabled, CacheTheoretical:
+		info[core.HintCache] = core.CacheEnable
+		flush := s.FlushFlag
+		if flush == "" {
+			// Figure 3's workflow: synchronisation starts right after the
+			// write so it can hide behind the next compute phase.
+			flush = core.FlushImmediate
+		}
+		info[core.HintFlushFlag] = flush
+		info[core.HintDiscardFlag] = "enable"
+		info[core.HintCachePath] = "/scratch"
+	}
+	for k, v := range s.ExtraHints {
+		info[k] = v
+	}
+	return info
+}
+
+// Run executes one experiment cell on a freshly built cluster and computes
+// the perceived bandwidth per Equation 2.
+func Run(spec Spec) (*Result, error) {
+	if spec.Case == BurstBuffer && spec.Cluster.BurstBuffer == nil {
+		bb := burst.DefaultConfig()
+		spec.Cluster.BurstBuffer = &bb
+	}
+	cl := NewCluster(spec.Cluster)
+	switch {
+	case spec.Case == CacheTheoretical:
+		cl.CoreEnv.SkipSync = true
+	case spec.Case == BurstBuffer:
+		cl.Env.Hooks = cl.BB.HooksFactory()
+	}
+	w := cl.World
+	comm := w.Comm()
+	nranks := w.Size()
+	info := spec.hints()
+
+	logs := make([]*mpe.Log, nranks)
+	for i := range logs {
+		logs[i] = mpe.NewLog()
+		if spec.Trace {
+			logs[i].EnableTimeline()
+		}
+	}
+	writeTimes := make([]sim.Time, spec.NFiles) // identical across ranks (barrier-fenced)
+	closeWaits := make([][]sim.Time, spec.NFiles)
+	for i := range closeWaits {
+		closeWaits[i] = make([]sim.Time, nranks)
+	}
+	peakBuf := make([]int64, nranks)
+	var firstErr error
+	fail := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	err := w.Run(func(r *mpi.Rank) {
+		me := comm.RankOf(r)
+		var prev *mpiio.File
+		prevIdx := -1
+		closePrev := func() {
+			if prev == nil {
+				return
+			}
+			comm.Barrier(r)
+			t0 := r.Now()
+			fail(prev.Close())
+			closeWaits[prevIdx][me] = r.Now() - t0
+			peak := prev.Handle().Stats.PeakBufBytes
+			if peak > peakBuf[me] {
+				peakBuf[me] = peak
+			}
+			prev, prevIdx = nil, -1
+		}
+		for k := 0; k < spec.NFiles; k++ {
+			// Figure 3 workflow: the previous file's close is deferred to
+			// the beginning of this I/O phase.
+			closePrev()
+			comm.Barrier(r)
+			t0 := r.Now()
+			f, err := cl.Env.OpenWithLog(r, comm, fmt.Sprintf("%s.%04d", spec.Workload.Name(), k),
+				mpiio.ModeCreate|mpiio.ModeWrOnly, info, logs[me])
+			if err != nil {
+				fail(err)
+				return
+			}
+			fail(spec.Workload.WritePhase(r, f, spec.Cluster.Payload))
+			comm.Barrier(r)
+			if me == 0 {
+				writeTimes[k] = r.Now() - t0
+			}
+			prev, prevIdx = f, k
+			if k < spec.NFiles-1 || !spec.IncludeLastSync {
+				// Compute phase C(k+1). With IncludeLastSync (IOR), the
+				// final write has no following compute: C(N) = 0.
+				r.Compute(spec.ComputeDelay)
+			}
+		}
+		closePrev()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Result{
+		Spec:       spec,
+		TotalBytes: spec.Workload.FileBytes(nranks) * int64(spec.NFiles),
+		Breakdown:  make(map[mpe.Phase]sim.Time),
+		WallTime:   cl.Kernel.Now(),
+		Logs:       logs,
+	}
+	res.Report = ClusterReport(cl)
+	var denom sim.Time
+	for k := 0; k < spec.NFiles; k++ {
+		var wait sim.Time
+		for _, cw := range closeWaits[k] {
+			if cw > wait {
+				wait = cw
+			}
+		}
+		// Close always pays a couple of metadata round trips; only count
+		// waits beyond that noise floor as non-hidden synchronisation.
+		if wait < 10*sim.Millisecond {
+			wait = 0
+		}
+		if k == spec.NFiles-1 && !spec.IncludeLastSync {
+			wait = 0
+		}
+		res.Phases = append(res.Phases, PhaseMetrics{WriteTime: writeTimes[k], CloseWait: wait})
+		denom += writeTimes[k] + wait
+	}
+	if denom > 0 {
+		res.BandwidthGBs = float64(res.TotalBytes) / denom.Seconds() / 1e9
+	}
+	for _, ph := range mpe.BreakdownPhases {
+		res.Breakdown[ph] = mpe.Aggregate(logs, ph).Max
+	}
+	for _, pb := range peakBuf {
+		if pb > res.PeakBufBytes {
+			res.PeakBufBytes = pb
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/mpe"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// These tests pin the paper's qualitative findings at a reduced scale
+// (16 nodes × 8 ranks, ~1 GB files). They are the regression net for the
+// calibration: if a model change breaks one of the orderings the paper
+// demonstrates, a test fails even though all unit tests still pass.
+
+func shapeSpec(cs Case, aggs int, cb int64) Spec {
+	w := workloads.CollPerf{RunBytes: 128 << 10, RunsY: 8, RunsZ: 8} // 8 MB/proc
+	spec := DefaultSpec(w, cs, aggs, cb)
+	spec.Cluster = Scaled(20160901, 16, 8)
+	spec.NFiles = 2
+	spec.ComputeDelay = 4 * sim.Second
+	return spec
+}
+
+func mustRun(t *testing.T, spec Spec) *Result {
+	t.Helper()
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Paper §IV-B / Figure 4: with enough aggregators the cache multiplies
+// collective write bandwidth several-fold over the plain file system, and
+// the theoretical bandwidth bounds the measured one.
+func TestShapeCacheWinsWithEnoughAggregators(t *testing.T) {
+	dis := mustRun(t, shapeSpec(CacheDisabled, 16, 4<<20))
+	en := mustRun(t, shapeSpec(CacheEnabled, 16, 4<<20))
+	tbw := mustRun(t, shapeSpec(CacheTheoretical, 16, 4<<20))
+	if en.BandwidthGBs < 3*dis.BandwidthGBs {
+		t.Fatalf("cache should win big: enabled %.2f vs disabled %.2f", en.BandwidthGBs, dis.BandwidthGBs)
+	}
+	if tbw.BandwidthGBs < en.BandwidthGBs*0.95 {
+		t.Fatalf("theoretical %.2f must bound enabled %.2f", tbw.BandwidthGBs, en.BandwidthGBs)
+	}
+}
+
+// Paper §IV-B / Figure 5: with too few aggregators the flush cannot hide
+// inside the compute window; not_hidden_sync appears and the measured
+// bandwidth collapses far below the theoretical one — it "can even
+// degrade" below the no-cache baseline.
+func TestShapeTooFewAggregatorsExposeSync(t *testing.T) {
+	spec := shapeSpec(CacheEnabled, 2, 4<<20)
+	spec.ComputeDelay = sim.Second
+	en := mustRun(t, spec)
+	if en.Breakdown[mpe.PhaseNotHiddenSync] <= 0 {
+		t.Fatal("expected non-hidden synchronisation with 2 aggregators")
+	}
+	tspec := shapeSpec(CacheTheoretical, 2, 4<<20)
+	tspec.ComputeDelay = sim.Second
+	tbw := mustRun(t, tspec)
+	if en.BandwidthGBs > tbw.BandwidthGBs/2 {
+		t.Fatalf("exposed sync must crush bandwidth: enabled %.2f vs theoretical %.2f",
+			en.BandwidthGBs, tbw.BandwidthGBs)
+	}
+	dspec := shapeSpec(CacheDisabled, 2, 4<<20)
+	dspec.ComputeDelay = sim.Second
+	dis := mustRun(t, dspec)
+	if en.BandwidthGBs > dis.BandwidthGBs*1.2 {
+		t.Fatalf("with unhidden sync the cache must not win big: enabled %.2f vs disabled %.2f",
+			en.BandwidthGBs, dis.BandwidthGBs)
+	}
+}
+
+// Paper §IV-B, Figures 5 vs 6: the cache consistently reduces the global
+// synchronisation contributions (shuffle_all2all and post_write).
+func TestShapeCacheReducesGlobalSyncCost(t *testing.T) {
+	dis := mustRun(t, shapeSpec(CacheDisabled, 16, 4<<20))
+	en := mustRun(t, shapeSpec(CacheEnabled, 16, 4<<20))
+	disSync := dis.Breakdown[mpe.PhaseShuffleA2A] + dis.Breakdown[mpe.PhasePostWrite]
+	enSync := en.Breakdown[mpe.PhaseShuffleA2A] + en.Breakdown[mpe.PhasePostWrite]
+	if enSync >= disSync {
+		t.Fatalf("cache must reduce global sync cost: %v vs %v", enSync, disSync)
+	}
+	if en.Breakdown[mpe.PhaseWrite] >= dis.Breakdown[mpe.PhaseWrite] {
+		t.Fatalf("SSD writes must beat PFS writes: %v vs %v",
+			en.Breakdown[mpe.PhaseWrite], dis.Breakdown[mpe.PhaseWrite])
+	}
+}
+
+// Paper §IV-B (end): with the cache, larger collective buffers stop
+// mattering much — good performance with small buffers reduces memory
+// pressure. The relative gain from 8x bigger buffers must be much larger
+// without the cache than with it.
+func TestShapeSmallBuffersSufficeWithCache(t *testing.T) {
+	small, big := int64(1<<20), int64(8<<20)
+	disSmall := mustRun(t, shapeSpec(CacheDisabled, 16, small)).BandwidthGBs
+	disBig := mustRun(t, shapeSpec(CacheDisabled, 16, big)).BandwidthGBs
+	enSmall := mustRun(t, shapeSpec(CacheEnabled, 16, small)).BandwidthGBs
+	enBig := mustRun(t, shapeSpec(CacheEnabled, 16, big)).BandwidthGBs
+	disGain := disBig / disSmall
+	enGain := enBig / enSmall
+	if enGain >= disGain {
+		t.Fatalf("buffer-size sensitivity must drop with the cache: cache gain %.2fx vs disabled gain %.2fx",
+			enGain, disGain)
+	}
+}
+
+// Paper §IV-D / Figures 9-10: accounting the last write's synchronisation
+// (no trailing compute phase) caps IOR's peak bandwidth between the
+// disabled and theoretical cases.
+func TestShapeIORLastWriteCapsPeak(t *testing.T) {
+	ior := workloads.IOR{BlockBytes: 2 << 20, Segments: 4}
+	mk := func(cs Case) Spec {
+		spec := DefaultSpec(ior, cs, 16, 4<<20)
+		spec.Cluster = Scaled(20160901, 16, 8)
+		spec.NFiles = 2
+		spec.ComputeDelay = 4 * sim.Second
+		spec.IncludeLastSync = true
+		return spec
+	}
+	dis := mustRun(t, mk(CacheDisabled))
+	en := mustRun(t, mk(CacheEnabled))
+	tbw := mustRun(t, mk(CacheTheoretical))
+	if !(dis.BandwidthGBs < en.BandwidthGBs && en.BandwidthGBs < tbw.BandwidthGBs) {
+		t.Fatalf("want disabled < enabled < theoretical, got %.2f / %.2f / %.2f",
+			dis.BandwidthGBs, en.BandwidthGBs, tbw.BandwidthGBs)
+	}
+	last := en.Phases[len(en.Phases)-1]
+	if last.CloseWait <= 0 {
+		t.Fatal("the last IOR write must expose synchronisation at close")
+	}
+}
+
+// Figure 4 vs Figure 7: Flash-IO (fewer, larger contiguous chunks per
+// rank) reaches at least coll_perf's cached bandwidth.
+func TestShapeFlashAtLeastCollPerf(t *testing.T) {
+	fl := workloads.FlashIO{BlocksPerProc: 10, ZonesPerBlock: 16 * 16 * 16, Vars: 24, BytesPerZone: 8}
+	mk := func(w workloads.Workload) Spec {
+		spec := DefaultSpec(w, CacheEnabled, 16, 4<<20)
+		spec.Cluster = Scaled(20160901, 16, 8)
+		spec.NFiles = 2
+		spec.ComputeDelay = 4 * sim.Second
+		return spec
+	}
+	cp := mustRun(t, mk(workloads.CollPerf{RunBytes: 128 << 10, RunsY: 8, RunsZ: 8}))
+	fi := mustRun(t, mk(fl))
+	if fi.BandwidthGBs < cp.BandwidthGBs*0.5 {
+		t.Fatalf("flash-io %.2f should be in coll_perf's league (%.2f)", fi.BandwidthGBs, cp.BandwidthGBs)
+	}
+}
+
+// §V comparison: a fixed-size dedicated burst buffer absorbs bursts faster
+// than the PFS but cannot match the node-local cache, whose aggregate
+// bandwidth scales with the compute nodes.
+func TestShapeBurstBufferBetweenPFSAndCache(t *testing.T) {
+	dis := mustRun(t, shapeSpec(CacheDisabled, 16, 4<<20))
+	bb := mustRun(t, shapeSpec(BurstBuffer, 16, 4<<20))
+	en := mustRun(t, shapeSpec(CacheEnabled, 16, 4<<20))
+	if !(dis.BandwidthGBs < bb.BandwidthGBs && bb.BandwidthGBs < en.BandwidthGBs) {
+		t.Fatalf("want disabled < burst buffer < node-local cache, got %.2f / %.2f / %.2f",
+			dis.BandwidthGBs, bb.BandwidthGBs, en.BandwidthGBs)
+	}
+}

@@ -1,0 +1,143 @@
+// Package mpe provides the phase instrumentation used to reproduce the
+// paper's collective-I/O cost breakdowns (Figures 5, 6, 8 and 10). On the
+// real system these numbers come from MPE state logging inside ROMIO; here
+// every rank records named intervals in virtual time and the harness
+// aggregates them across ranks.
+package mpe
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Phase names one instrumented component of the collective write path.
+// The names match the stacked components in the paper's breakdown figures.
+type Phase string
+
+// Phases of the collective write path (Figure 2 of the paper), plus the
+// cache-specific not_hidden_sync term of Equation 1.
+const (
+	PhaseOpen          Phase = "open"
+	PhaseCalc          Phase = "calc_offsets"     // offset exchange + file-domain computation
+	PhaseShuffleA2A    Phase = "shuffle_all2all"  // MPI_Alltoall dissemination
+	PhaseExchWaitall   Phase = "exchange_waitall" // MPI_Waitall of the data exchange
+	PhasePack          Phase = "pack"             // filling the collective buffer
+	PhaseWrite         Phase = "write"            // ADIO_WriteContig
+	PhasePostWrite     Phase = "post_write"       // final MPI_Allreduce (error exchange)
+	PhaseClose         Phase = "close"
+	PhaseNotHiddenSync Phase = "not_hidden_sync" // T_s(k) - C(k+1) when positive
+)
+
+// BreakdownPhases lists the phases shown in the paper's breakdown figures,
+// in stacking order.
+var BreakdownPhases = []Phase{
+	PhaseCalc, PhaseShuffleA2A, PhaseExchWaitall, PhasePack,
+	PhaseWrite, PhasePostWrite, PhaseNotHiddenSync,
+}
+
+// Log accumulates per-phase time on one rank. The zero value is unusable;
+// use NewLog.
+type Log struct {
+	totals    map[Phase]sim.Time
+	counts    map[Phase]int64
+	timeline  bool
+	intervals []Interval
+}
+
+// NewLog creates an empty log.
+func NewLog() *Log {
+	return &Log{totals: make(map[Phase]sim.Time), counts: make(map[Phase]int64)}
+}
+
+// Add records d of time spent in phase ph.
+func (l *Log) Add(ph Phase, d sim.Time) {
+	if l == nil || d < 0 {
+		return
+	}
+	l.totals[ph] += d
+	l.counts[ph]++
+}
+
+// Total returns the accumulated time in ph.
+func (l *Log) Total(ph Phase) sim.Time {
+	if l == nil {
+		return 0
+	}
+	return l.totals[ph]
+}
+
+// Count returns the number of intervals recorded for ph.
+func (l *Log) Count(ph Phase) int64 {
+	if l == nil {
+		return 0
+	}
+	return l.counts[ph]
+}
+
+// Phases returns all phases with nonzero time, sorted by name.
+func (l *Log) Phases() []Phase {
+	if l == nil {
+		return nil
+	}
+	out := make([]Phase, 0, len(l.totals))
+	for ph := range l.totals {
+		out = append(out, ph)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset clears the log, including any recorded timeline.
+func (l *Log) Reset() {
+	for ph := range l.totals {
+		delete(l.totals, ph)
+	}
+	for ph := range l.counts {
+		delete(l.counts, ph)
+	}
+	l.intervals = nil
+}
+
+// Span measures one interval: s := StartSpan(now) ... s.End(log, ph, now).
+type Span struct{ start sim.Time }
+
+// StartSpan begins an interval at the given virtual time.
+func StartSpan(now sim.Time) Span { return Span{start: now} }
+
+// End records the interval [start, now) into l under ph.
+func (s Span) End(l *Log, ph Phase, now sim.Time) {
+	l.Add(ph, now-s.start)
+	if l != nil && l.timeline && now > s.start {
+		l.intervals = append(l.intervals, Interval{Phase: ph, Start: s.start, End: now})
+	}
+}
+
+// Breakdown aggregates one phase across many rank logs.
+type Breakdown struct {
+	Max  sim.Time // critical-path view: the slowest rank's total
+	Mean sim.Time
+	Sum  sim.Time
+}
+
+// Aggregate computes the cross-rank breakdown of ph over logs, skipping
+// nils (non-participating ranks).
+func Aggregate(logs []*Log, ph Phase) Breakdown {
+	var b Breakdown
+	n := 0
+	for _, l := range logs {
+		if l == nil {
+			continue
+		}
+		t := l.Total(ph)
+		b.Sum += t
+		if t > b.Max {
+			b.Max = t
+		}
+		n++
+	}
+	if n > 0 {
+		b.Mean = b.Sum / sim.Time(n)
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package mpe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Interval is one recorded phase occurrence on a rank's timeline.
+type Interval struct {
+	Phase Phase
+	Start sim.Time
+	End   sim.Time
+}
+
+// EnableTimeline makes the log keep individual intervals (not just
+// totals), so a trace can be exported afterwards. Off by default: large
+// runs record millions of intervals.
+func (l *Log) EnableTimeline() { l.timeline = true }
+
+// Timeline returns the recorded intervals in completion order.
+func (l *Log) Timeline() []Interval {
+	if l == nil {
+		return nil
+	}
+	out := make([]Interval, len(l.intervals))
+	copy(out, l.intervals)
+	return out
+}
+
+// traceEvent is one Chrome trace-format entry ("X" = complete event).
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace renders per-rank timelines in the Chrome trace-event
+// JSON format (load via chrome://tracing or Perfetto). logs[i] is rank i's
+// log; nil entries are skipped.
+func WriteChromeTrace(w io.Writer, logs []*Log) error {
+	var events []traceEvent
+	for rank, l := range logs {
+		if l == nil {
+			continue
+		}
+		for _, iv := range l.intervals {
+			events = append(events, traceEvent{
+				Name: string(iv.Phase),
+				Cat:  "collective-io",
+				Ph:   "X",
+				TS:   float64(iv.Start) / 1e3,
+				Dur:  float64(iv.End-iv.Start) / 1e3,
+				PID:  0,
+				TID:  rank,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if _, err := fmt.Fprint(w, `{"traceEvents":`); err != nil {
+		return err
+	}
+	if err := enc.Encode(events); err != nil {
+		return err
+	}
+	_, err := fmt.Fprint(w, "}")
+	return err
+}

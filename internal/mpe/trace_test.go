@@ -1,0 +1,70 @@
+package mpe
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	l := NewLog()
+	s := StartSpan(0)
+	s.End(l, PhaseWrite, sim.Second)
+	if len(l.Timeline()) != 0 {
+		t.Fatal("timeline must be opt-in")
+	}
+}
+
+func TestTimelineRecordsIntervals(t *testing.T) {
+	l := NewLog()
+	l.EnableTimeline()
+	StartSpan(sim.Second).End(l, PhaseWrite, 2*sim.Second)
+	StartSpan(3*sim.Second).End(l, PhasePostWrite, 4*sim.Second)
+	StartSpan(5*sim.Second).End(l, PhasePack, 5*sim.Second) // zero-length: dropped
+	tl := l.Timeline()
+	if len(tl) != 2 {
+		t.Fatalf("timeline = %v", tl)
+	}
+	if tl[0].Phase != PhaseWrite || tl[0].Start != sim.Second || tl[0].End != 2*sim.Second {
+		t.Fatalf("interval 0 = %+v", tl[0])
+	}
+	l.Reset()
+	if len(l.Timeline()) != 0 {
+		t.Fatal("reset must clear the timeline")
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	a := NewLog()
+	a.EnableTimeline()
+	StartSpan(0).End(a, PhaseWrite, sim.Millisecond)
+	b := NewLog()
+	b.EnableTimeline()
+	StartSpan(sim.Millisecond).End(b, PhaseShuffleA2A, 3*sim.Millisecond)
+
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, []*Log{a, nil, b}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			TID  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %+v", doc.TraceEvents)
+	}
+	if doc.TraceEvents[0].Name != "write" || doc.TraceEvents[0].TID != 0 {
+		t.Fatalf("event 0 = %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].TID != 2 || doc.TraceEvents[1].Dur != 2000 {
+		t.Fatalf("event 1 = %+v", doc.TraceEvents[1])
+	}
+}

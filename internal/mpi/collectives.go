@@ -1,0 +1,387 @@
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// CollModel selects how collectives are executed.
+type CollModel int
+
+const (
+	// Analytic charges a LogGP-style cost model and synchronises all ranks
+	// at max(arrival) + cost. It keeps 512-rank multi-round sweeps fast
+	// while preserving wait-for-slowest semantics. This is the default.
+	Analytic CollModel = iota
+	// MessagePassing runs real message-based algorithms (dissemination
+	// barrier, binomial bcast/reduce, ring allgather, pairwise alltoall)
+	// over the simulated network.
+	MessagePassing
+)
+
+// Comm is a communicator: an ordered group of ranks.
+type Comm struct {
+	w       *World
+	ranks   []*Rank
+	index   map[int]int // world id -> comm rank
+	model   CollModel
+	states  map[int]*collState
+	callIdx []int
+}
+
+func newComm(w *World, ranks []*Rank) *Comm {
+	c := &Comm{
+		w:       w,
+		ranks:   ranks,
+		index:   make(map[int]int, len(ranks)),
+		states:  make(map[int]*collState),
+		callIdx: make([]int, len(ranks)),
+	}
+	for i, r := range ranks {
+		c.index[r.id] = i
+	}
+	return c
+}
+
+// NewComm builds a communicator from the given world rank ids, in order.
+func (w *World) NewComm(members []int) *Comm {
+	ranks := make([]*Rank, len(members))
+	for i, m := range members {
+		ranks[i] = w.ranks[m]
+	}
+	return newComm(w, ranks)
+}
+
+// internComm returns a shared communicator for the membership, creating it
+// on first use; Comm.Split relies on every member receiving the same
+// object.
+func (w *World) internComm(members []int) *Comm {
+	key := fmt.Sprint(members)
+	if c, ok := w.interned[key]; ok {
+		return c
+	}
+	c := w.NewComm(members)
+	w.interned[key] = c
+	return c
+}
+
+// SetCollModel selects the collective execution model.
+func (c *Comm) SetCollModel(m CollModel) { c.model = m }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// RankOf returns the communicator rank of world rank r, or -1.
+func (c *Comm) RankOf(r *Rank) int {
+	if i, ok := c.index[r.id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Member returns the rank at communicator position i.
+func (c *Comm) Member(i int) *Rank { return c.ranks[i] }
+
+// collState tracks one in-flight collective operation.
+type collState struct {
+	kind    string
+	arrived int
+	inputs  [][]int64
+	waiters []*Rank
+	finish  sim.Time
+}
+
+// sync is the analytic rendezvous: every rank contributes input, blocks
+// until all have arrived plus the modelled cost, and gets all inputs back.
+func (c *Comm) sync(r *Rank, kind string, perRankBytes int64, input []int64) [][]int64 {
+	me := c.RankOf(r)
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not in communicator", r.id))
+	}
+	if len(c.ranks) == 1 {
+		return [][]int64{input}
+	}
+	n := c.callIdx[me]
+	c.callIdx[me]++
+	st := c.states[n]
+	if st == nil {
+		st = &collState{kind: kind, inputs: make([][]int64, len(c.ranks))}
+		c.states[n] = st
+	}
+	if st.kind != kind {
+		panic(fmt.Sprintf("mpi: mismatched collectives: rank %d calls %s, others called %s", r.id, kind, st.kind))
+	}
+	st.inputs[me] = input
+	st.arrived++
+	if st.arrived < len(c.ranks) {
+		st.waiters = append(st.waiters, r)
+		r.proc.Park()
+		return st.inputs
+	}
+	// Last arrival: everyone resumes after the modelled completion time.
+	delete(c.states, n)
+	cost := c.collCost(kind, perRankBytes)
+	st.finish = r.proc.Now() + cost
+	for _, wr := range st.waiters {
+		c.w.k.WakeAt(st.finish, wr.proc)
+	}
+	r.proc.Sleep(cost)
+	return st.inputs
+}
+
+// collCost models the completion time of a collective once all ranks have
+// arrived, following LogGP: per-message software overhead o, wire latency
+// L, and per-rank NIC bandwidth for the data terms.
+func (c *Comm) collCost(kind string, n int64) sim.Time {
+	p := len(c.ranks)
+	if p <= 1 {
+		return 0
+	}
+	const o = 1 * sim.Microsecond
+	l := c.w.fabric.Latency()
+	bw := sim.Rate(3.2 * sim.GBps)
+	log2p := sim.Time(bits.Len(uint(p - 1)))
+	step := o + l
+	switch kind {
+	case "barrier":
+		return log2p * step
+	case "bcast", "reduce", "allreduce":
+		return log2p * (step + bw.DurationFor(n))
+	case "allgather":
+		return log2p*step + sim.Time(p-1)*bw.DurationFor(n)
+	case "alltoall":
+		return sim.Time(p-1)*(o+bw.DurationFor(n)) + l
+	default:
+		panic("mpi: unknown collective " + kind)
+	}
+}
+
+// Op is a reduction operator over int64.
+type Op func(a, b int64) int64
+
+// Standard reduction operators.
+var (
+	MaxOp Op = func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	MinOp Op = func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	SumOp Op = func(a, b int64) int64 { return a + b }
+	BorOp Op = func(a, b int64) int64 { return a | b }
+)
+
+// Barrier blocks until every rank of the communicator has entered.
+func (c *Comm) Barrier(r *Rank) {
+	if c.model == MessagePassing {
+		c.msgBarrier(r)
+		return
+	}
+	c.sync(r, "barrier", 0, nil)
+}
+
+// Allreduce combines each rank's vals element-wise with op; every rank
+// receives the combined vector (MPI_Allreduce).
+func (c *Comm) Allreduce(r *Rank, vals []int64, op Op) []int64 {
+	if c.model == MessagePassing {
+		return c.msgAllreduce(r, vals, op)
+	}
+	inputs := c.sync(r, "allreduce", int64(8*len(vals)), vals)
+	out := make([]int64, len(vals))
+	copy(out, inputs[0])
+	for _, in := range inputs[1:] {
+		for j := range out {
+			out[j] = op(out[j], in[j])
+		}
+	}
+	return out
+}
+
+// Allgather collects each rank's vals; result[i] is rank i's contribution
+// (MPI_Allgather / MPI_Allgatherv).
+func (c *Comm) Allgather(r *Rank, vals []int64) [][]int64 {
+	if c.model == MessagePassing {
+		return c.msgAllgather(r, vals)
+	}
+	inputs := c.sync(r, "allgather", int64(8*len(vals)), vals)
+	out := make([][]int64, len(inputs))
+	copy(out, inputs)
+	return out
+}
+
+// Alltoall sends send[i] to comm rank i and returns recv where recv[i] is
+// the value sent by rank i (MPI_Alltoall with one int64 per pair). This is
+// the dissemination step at the start of every two-phase exchange round.
+func (c *Comm) Alltoall(r *Rank, send []int64) []int64 {
+	if len(send) != len(c.ranks) {
+		panic("mpi: alltoall send vector must have comm-size entries")
+	}
+	if c.model == MessagePassing {
+		return c.msgAlltoall(r, send)
+	}
+	inputs := c.sync(r, "alltoall", 8, send)
+	me := c.RankOf(r)
+	out := make([]int64, len(c.ranks))
+	for i, in := range inputs {
+		out[i] = in[me]
+	}
+	return out
+}
+
+// Bcast distributes root's vals to every rank (MPI_Bcast).
+func (c *Comm) Bcast(r *Rank, root int, vals []int64) []int64 {
+	if c.model == MessagePassing {
+		return c.msgBcast(r, root, vals)
+	}
+	var n int64
+	if c.RankOf(r) == root {
+		n = int64(8 * len(vals))
+	}
+	inputs := c.sync(r, "bcast", n, vals)
+	return inputs[root]
+}
+
+// ---- Message-passing implementations ----
+
+// advanceTagFor reserves a tag block for one collective call. All ranks
+// allocate collective call indices in the same order (SPMD), so the tag is
+// consistent across the communicator; the stride of 4 leaves room for
+// multi-stage algorithms (reduce+bcast) to use distinct sub-tags.
+func (c *Comm) advanceTagFor(me int) int {
+	tag := 1<<30 + c.callIdx[me]*4
+	c.callIdx[me]++
+	return tag
+}
+
+func (c *Comm) msgBarrier(r *Rank) {
+	me := c.RankOf(r)
+	tag := c.advanceTagFor(me)
+	p := len(c.ranks)
+	for dist := 1; dist < p; dist *= 2 {
+		dst := c.ranks[(me+dist)%p].id
+		src := c.ranks[(me-dist+p)%p].id
+		req := r.Irecv(src, tag)
+		r.Send(dst, tag, Message{Size: 1})
+		r.Wait(req)
+	}
+}
+
+func (c *Comm) msgBcast(r *Rank, root int, vals []int64) []int64 {
+	me := c.RankOf(r)
+	tag := c.advanceTagFor(me)
+	p := len(c.ranks)
+	rel := (me - root + p) % p // position in the binomial tree rooted at 0
+	if rel != 0 {
+		src := ((rel - lowestSetBit(rel)) + root) % p
+		m := r.Recv(c.ranks[src].id, tag)
+		vals = m.Vals
+	}
+	for dist := topMask(p); dist >= 1; dist /= 2 {
+		if rel%(2*dist) == 0 && rel+dist < p {
+			dst := (rel + dist + root) % p
+			r.Send(c.ranks[dst].id, tag, Message{Vals: vals})
+		}
+	}
+	return vals
+}
+
+func (c *Comm) msgAllreduce(r *Rank, vals []int64, op Op) []int64 {
+	me := c.RankOf(r)
+	tag := c.advanceTagFor(me)
+	p := len(c.ranks)
+	acc := make([]int64, len(vals))
+	copy(acc, vals)
+	// Binomial reduce to comm rank 0.
+	for dist := 1; dist < p; dist *= 2 {
+		if me%(2*dist) == 0 {
+			if me+dist < p {
+				m := r.Recv(c.ranks[me+dist].id, tag)
+				for j := range acc {
+					acc[j] = op(acc[j], m.Vals[j])
+				}
+			}
+		} else {
+			r.Send(c.ranks[me-dist].id, tag, Message{Vals: acc})
+			break
+		}
+	}
+	// Binomial broadcast of the result on a distinct sub-tag.
+	return c.bcastWithTag(r, 0, acc, tag+1)
+}
+
+func (c *Comm) bcastWithTag(r *Rank, root int, vals []int64, tag int) []int64 {
+	me := c.RankOf(r)
+	p := len(c.ranks)
+	rel := (me - root + p) % p
+	if rel != 0 {
+		src := ((rel - lowestSetBit(rel)) + root) % p
+		m := r.Recv(c.ranks[src].id, tag)
+		vals = m.Vals
+	}
+	for dist := topMask(p); dist >= 1; dist /= 2 {
+		if rel%(2*dist) == 0 && rel+dist < p {
+			dst := (rel + dist + root) % p
+			r.Send(c.ranks[dst].id, tag, Message{Vals: vals})
+		}
+	}
+	return vals
+}
+
+func (c *Comm) msgAllgather(r *Rank, vals []int64) [][]int64 {
+	me := c.RankOf(r)
+	tag := c.advanceTagFor(me)
+	p := len(c.ranks)
+	out := make([][]int64, p)
+	out[me] = vals
+	// Ring: forward the (p-1) most recently received contributions.
+	right := c.ranks[(me+1)%p].id
+	left := c.ranks[(me-1+p)%p].id
+	cur := me
+	curVals := vals
+	for step := 0; step < p-1; step++ {
+		req := r.Irecv(left, tag)
+		r.Send(right, tag, Message{Vals: append([]int64{int64(cur)}, curVals...)})
+		m := r.Wait(req)
+		cur = int(m.Vals[0])
+		curVals = m.Vals[1:]
+		out[cur] = curVals
+	}
+	return out
+}
+
+func (c *Comm) msgAlltoall(r *Rank, send []int64) []int64 {
+	me := c.RankOf(r)
+	tag := c.advanceTagFor(me)
+	p := len(c.ranks)
+	out := make([]int64, p)
+	out[me] = send[me]
+	for round := 1; round < p; round++ {
+		dst := (me + round) % p
+		src := (me - round + p) % p
+		req := r.Irecv(c.ranks[src].id, tag)
+		r.Send(c.ranks[dst].id, tag, Message{Vals: []int64{send[dst]}})
+		m := r.Wait(req)
+		out[src] = m.Vals[0]
+	}
+	return out
+}
+
+func lowestSetBit(x int) int { return x & (-x) }
+
+// topMask returns the largest power of two strictly below the smallest
+// power of two >= p (i.e. the first sender stride of a binomial tree).
+func topMask(p int) int {
+	m := 1
+	for m < p {
+		m *= 2
+	}
+	return m / 2
+}

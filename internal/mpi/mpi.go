@@ -1,0 +1,156 @@
+// Package mpi implements the message-passing substrate the reproduction
+// runs on: a World of ranks mapped onto simulated compute nodes, MPI-style
+// point-to-point communication with (source, tag) matching and nonblocking
+// requests, generalized requests (MPI_Grequest), Info objects for hints,
+// and the collectives used by ROMIO's extended two-phase algorithm.
+//
+// Ranks are simulation processes. Message transfers contend for the node
+// NICs modelled by package netsim, so 8 ranks per node share injection
+// bandwidth exactly as in the paper's testbed (512 processes on 64 nodes).
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// World is the set of all ranks (MPI_COMM_WORLD).
+type World struct {
+	k        *sim.Kernel
+	fabric   *netsim.Fabric
+	ranks    []*Rank
+	perNode  int
+	comm     *Comm
+	interned map[string]*Comm // Split results, shared across members
+}
+
+// NewWorld creates ranksPerNode ranks on every node of the fabric, in
+// node-major order (ranks 0..perNode-1 on node 0, and so on), matching the
+// block process placement used in the paper's experiments.
+func NewWorld(k *sim.Kernel, fabric *netsim.Fabric, ranksPerNode int) *World {
+	return NewWorldOn(k, fabric, ranksPerNode, fabric.Nodes())
+}
+
+// NewWorldOn places ranks on the first computeNodes nodes only, leaving
+// the remaining fabric endpoints for dedicated servers (e.g. burst-buffer
+// proxies).
+func NewWorldOn(k *sim.Kernel, fabric *netsim.Fabric, ranksPerNode, computeNodes int) *World {
+	if ranksPerNode < 1 {
+		panic("mpi: need at least one rank per node")
+	}
+	if computeNodes < 1 || computeNodes > fabric.Nodes() {
+		panic("mpi: compute node count out of range")
+	}
+	w := &World{k: k, fabric: fabric, perNode: ranksPerNode, interned: make(map[string]*Comm)}
+	n := computeNodes * ranksPerNode
+	for i := 0; i < n; i++ {
+		w.ranks = append(w.ranks, &Rank{
+			w:    w,
+			id:   i,
+			node: fabric.Node(i / ranksPerNode),
+		})
+	}
+	w.comm = newComm(w, w.ranks)
+	return w
+}
+
+// Kernel returns the simulation kernel.
+func (w *World) Kernel() *sim.Kernel { return w.k }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// RanksPerNode returns the process-per-node count.
+func (w *World) RanksPerNode() int { return w.perNode }
+
+// Rank returns rank i's handle (for inspection; MPI calls must run on the
+// rank's own process).
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Comm returns the world communicator.
+func (w *World) Comm() *Comm { return w.comm }
+
+// Run spawns every rank executing body and drives the simulation to
+// completion. It is the moral equivalent of mpirun.
+func (w *World) Run(body func(r *Rank)) error {
+	for _, r := range w.ranks {
+		r := r
+		w.k.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			r.proc = p
+			body(r)
+		})
+	}
+	return w.k.Run()
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	w    *World
+	id   int
+	node *netsim.Node
+	proc *sim.Proc
+	mbox mailbox
+}
+
+// ID returns the world rank number.
+func (r *Rank) ID() int { return r.id }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.w }
+
+// Node returns the compute node hosting this rank.
+func (r *Rank) Node() *netsim.Node { return r.node }
+
+// Proc returns the rank's simulation process. It is only valid inside the
+// body function passed to World.Run.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Wtime returns the current virtual time in seconds (MPI_Wtime).
+func (r *Rank) Wtime() float64 { return r.proc.Now().Seconds() }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// Compute blocks the rank for d of virtual time, emulating a computation
+// phase (the benchmarks' --compute-delay).
+func (r *Rank) Compute(d sim.Time) { r.proc.Sleep(d) }
+
+// Info is an MPI_Info object: a string-keyed hint dictionary.
+type Info map[string]string
+
+// Get returns the hint value and whether it was set.
+func (i Info) Get(key string) (string, bool) {
+	if i == nil {
+		return "", false
+	}
+	v, ok := i[key]
+	return v, ok
+}
+
+// GetDefault returns the hint value, or def when unset.
+func (i Info) GetDefault(key, def string) string {
+	if v, ok := i.Get(key); ok {
+		return v
+	}
+	return def
+}
+
+// Set stores a hint.
+func (i Info) Set(key, value string) { i[key] = value }
+
+// Clone returns a copy of the info object.
+func (i Info) Clone() Info {
+	out := make(Info, len(i))
+	for k, v := range i {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message is a point-to-point payload. Size is the wire size in bytes;
+// Data and Vals optionally carry real content (Data for file payloads,
+// Vals for control integers such as the two-phase size dissemination).
+type Message struct {
+	Src  int
+	Dst  int
+	Tag  int
+	Size int64
+	Data []byte
+	Vals []int64
+}
+
+// Request is a nonblocking-operation handle (MPI_Request). A Request is
+// also the unit of MPI generalized requests: external agents — such as the
+// cache sync thread — complete it via Complete.
+type Request struct {
+	w      *World
+	done   bool
+	msg    *Message // received message, for receive requests
+	waiter *Rank    // rank parked in Wait, if any
+}
+
+// NewGrequest creates a generalized request that an external agent will
+// Complete (MPI_Grequest_start).
+func (w *World) NewGrequest() *Request { return &Request{w: w} }
+
+// Done reports whether the operation has completed (MPI_Test).
+func (q *Request) Done() bool { return q.done }
+
+// Complete marks the request finished and wakes its waiter
+// (MPI_Grequest_complete for generalized requests; internal completion for
+// sends and receives).
+func (q *Request) Complete() {
+	if q.done {
+		panic("mpi: request completed twice")
+	}
+	q.done = true
+	if q.waiter != nil {
+		q.w.k.Wake(q.waiter.proc)
+		q.waiter = nil
+	}
+}
+
+// Wait blocks rank r until the request completes and returns the received
+// message (nil for send and generalized requests).
+func (r *Rank) Wait(q *Request) *Message {
+	if !q.done {
+		if q.waiter != nil {
+			panic("mpi: two ranks waiting on one request")
+		}
+		q.waiter = r
+		r.proc.Park()
+	}
+	return q.msg
+}
+
+// Waitall blocks until every request has completed (MPI_Waitall).
+func (r *Rank) Waitall(reqs []*Request) {
+	for _, q := range reqs {
+		if q != nil {
+			r.Wait(q)
+		}
+	}
+}
+
+// postedRecv is a receive waiting for a matching message.
+type postedRecv struct {
+	src int
+	tag int
+	req *Request
+}
+
+// mailbox holds posted receives and unexpected messages, in arrival order.
+type mailbox struct {
+	posted     []*postedRecv
+	unexpected []*Message
+}
+
+func match(src, tag int, m *Message) bool {
+	return (src == AnySource || src == m.Src) && (tag == AnyTag || tag == m.Tag)
+}
+
+// deliver hands an arrived message to the earliest matching posted receive,
+// or queues it as unexpected.
+func (r *Rank) deliver(m *Message) {
+	for i, pr := range r.mbox.posted {
+		if match(pr.src, pr.tag, m) {
+			r.mbox.posted = append(r.mbox.posted[:i], r.mbox.posted[i+1:]...)
+			pr.req.msg = m
+			pr.req.Complete()
+			return
+		}
+	}
+	r.mbox.unexpected = append(r.mbox.unexpected, m)
+}
+
+// Irecv posts a nonblocking receive matching (src, tag); wildcards
+// AnySource and AnyTag are honoured in posting order.
+func (r *Rank) Irecv(src, tag int) *Request {
+	req := &Request{w: r.w}
+	for i, m := range r.mbox.unexpected {
+		if match(src, tag, m) {
+			r.mbox.unexpected = append(r.mbox.unexpected[:i], r.mbox.unexpected[i+1:]...)
+			req.msg = m
+			req.done = true
+			return req
+		}
+	}
+	r.mbox.posted = append(r.mbox.posted, &postedRecv{src: src, tag: tag, req: req})
+	return req
+}
+
+// Recv blocks until a matching message arrives.
+func (r *Rank) Recv(src, tag int) *Message {
+	return r.Wait(r.Irecv(src, tag))
+}
+
+// Isend starts a nonblocking send of m to world rank dst. The send request
+// completes when the message has left the sending node (eager semantics);
+// delivery happens after the fabric latency and receiver-side ejection.
+func (r *Rank) Isend(dst, tag int, m Message) *Request {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	if m.Data != nil && int64(len(m.Data)) > m.Size {
+		panic("mpi: message data exceeds declared size")
+	}
+	if m.Size == 0 && m.Data != nil {
+		m.Size = int64(len(m.Data))
+	}
+	if m.Size == 0 && m.Vals != nil {
+		m.Size = int64(8 * len(m.Vals))
+	}
+	m.Src = r.id
+	m.Dst = dst
+	m.Tag = tag
+	req := &Request{w: r.w}
+	dstRank := r.w.ranks[dst]
+	srcNode, dstNode := r.node, dstRank.node
+	r.w.k.Spawn(fmt.Sprintf("msg.%d->%d.t%d", r.id, dst, tag), func(p *sim.Proc) {
+		if srcNode == dstNode {
+			srcNode.LocalCopy(p, m.Size)
+			req.Complete()
+		} else {
+			srcNode.Inject(p, m.Size)
+			req.Complete()
+			p.Sleep(r.w.fabric.Latency())
+			dstNode.Eject(p, m.Size)
+		}
+		dstRank.deliver(&m)
+	})
+	return req
+}
+
+// Send is a blocking send (Isend + Wait).
+func (r *Rank) Send(dst, tag int, m Message) {
+	r.Wait(r.Isend(dst, tag, m))
+}

@@ -1,0 +1,36 @@
+package mpiio_test
+
+import (
+	"fmt"
+
+	"repro/internal/mpiio"
+)
+
+// A vector file view: 2 rows of 4 bytes, strided by 16 bytes, displaced by
+// 100 — the classic row-interleaved shared-array layout.
+func ExampleView_Map() {
+	v := mpiio.View{Disp: 100, Filetype: mpiio.Vector(2, 4, 16)}
+	// Note: the trailing piece of tile 0 and the head of tile 1 are
+	// adjacent in the file and get merged.
+	segs, _ := v.Map(2, 8) // view bytes 2..10
+	for _, s := range segs {
+		fmt.Println(s)
+	}
+	// Output:
+	// [102,104)
+	// [116,122)
+}
+
+func ExampleSubarray3D() {
+	// A 4x4x1 global byte array split into 2x2x1 blocks; the block at
+	// (2,2,0) flattens to two x-runs.
+	ft, _ := mpiio.Subarray3D([3]int64{4, 4, 1}, [3]int64{2, 2, 1}, [3]int64{2, 2, 0})
+	for _, s := range ft.Segs {
+		fmt.Println(s)
+	}
+	fmt.Println("extent:", ft.Extent)
+	// Output:
+	// [10,12)
+	// [14,16)
+	// extent: 16
+}

@@ -1,0 +1,131 @@
+// Package netsim models the cluster interconnect: compute nodes with
+// injection/ejection NIC bandwidth, a constant-latency fabric, and an
+// intra-node memory path for ranks co-located on a node.
+//
+// The model is LogGP-flavoured: a message occupies the sender's injection
+// port for size/injection-rate, travels for the fabric latency, then
+// occupies the receiver's ejection port for size/ejection-rate. Eight ranks
+// per node therefore contend for their shared NIC, which is one of the
+// effects the paper's evaluation depends on.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes a fabric.
+type Config struct {
+	Nodes      int      // number of compute nodes
+	InjRate    sim.Rate // per-node injection (TX) bandwidth
+	EjeRate    sim.Rate // per-node ejection (RX) bandwidth
+	Latency    sim.Time // end-to-end wire latency
+	MemRate    sim.Rate // intra-node copy bandwidth (shared per node)
+	MemLatency sim.Time // intra-node copy latency
+	InjJitter  sim.Dist // optional per-transfer jitter on NIC occupancy
+}
+
+// DefaultConfig returns parameters approximating the DEEP-ER cluster's
+// InfiniBand QDR network (§IV-A of the paper).
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:      nodes,
+		InjRate:    3.2 * sim.GBps,
+		EjeRate:    3.2 * sim.GBps,
+		Latency:    2 * sim.Microsecond,
+		MemRate:    6 * sim.GBps,
+		MemLatency: 300 * sim.Nanosecond,
+		InjJitter:  sim.UnitLogNormal(0.03),
+	}
+}
+
+// Fabric is the interconnect instance.
+type Fabric struct {
+	k     *sim.Kernel
+	cfg   Config
+	nodes []*Node
+}
+
+// New builds a fabric with cfg.Nodes nodes.
+func New(k *sim.Kernel, cfg Config) *Fabric {
+	if cfg.Nodes < 1 {
+		panic("netsim: need at least one node")
+	}
+	f := &Fabric{k: k, cfg: cfg}
+	f.nodes = make([]*Node, cfg.Nodes)
+	for i := range f.nodes {
+		f.nodes[i] = &Node{
+			id:     i,
+			fabric: f,
+			inj:    sim.NewStation(k, fmt.Sprintf("node%d.tx", i), 1),
+			eje:    sim.NewStation(k, fmt.Sprintf("node%d.rx", i), 1),
+			mem:    sim.NewStation(k, fmt.Sprintf("node%d.mem", i), 1),
+		}
+	}
+	return f
+}
+
+// Kernel returns the owning simulation kernel.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// Nodes returns the node count.
+func (f *Fabric) Nodes() int { return len(f.nodes) }
+
+// Node returns node i.
+func (f *Fabric) Node(i int) *Node { return f.nodes[i] }
+
+// Latency returns the configured fabric latency.
+func (f *Fabric) Latency() sim.Time { return f.cfg.Latency }
+
+// Node is one compute node's network endpoint.
+type Node struct {
+	id     int
+	fabric *Fabric
+	inj    *sim.Station
+	eje    *sim.Station
+	mem    *sim.Station
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.id }
+
+// Inject occupies the node's TX port for the injection time of size bytes.
+// It returns after the message has fully left the sender.
+func (n *Node) Inject(p *sim.Proc, size int64) {
+	cfg := n.fabric.cfg
+	d := sim.Jitter(n.fabric.k.Rand(), cfg.InjJitter, cfg.InjRate.DurationFor(size))
+	n.inj.Serve(p, d)
+	n.inj.Bytes += size
+}
+
+// Eject occupies the node's RX port for the ejection time of size bytes.
+func (n *Node) Eject(p *sim.Proc, size int64) {
+	cfg := n.fabric.cfg
+	n.eje.ServeBytes(p, 0, cfg.EjeRate, size)
+}
+
+// LocalCopy charges the shared intra-node memory path for size bytes; used
+// for messages between ranks on the same node and for buffer packing.
+func (n *Node) LocalCopy(p *sim.Proc, size int64) {
+	cfg := n.fabric.cfg
+	n.mem.ServeBytes(p, cfg.MemLatency, cfg.MemRate, size)
+}
+
+// Transfer moves size bytes from n to dst, blocking p for the full transfer:
+// injection, wire latency and ejection (or a local copy when dst == n).
+func (n *Node) Transfer(p *sim.Proc, dst *Node, size int64) {
+	if dst == n {
+		n.LocalCopy(p, size)
+		return
+	}
+	n.Inject(p, size)
+	p.Sleep(n.fabric.cfg.Latency)
+	dst.Eject(p, size)
+}
+
+// TxBytes reports the bytes injected by this node so far.
+func (n *Node) TxBytes() int64 { return n.inj.Bytes }
+
+// RxBytes reports the bytes ejected to this node so far.
+func (n *Node) RxBytes() int64 { return n.eje.Bytes }

@@ -1,0 +1,264 @@
+// Package nvm models the node-local non-volatile memory device used as the
+// collective-write cache: in the paper's testbed, a 30 GB ext4 partition on
+// an 80 GB SATA SSD mounted under /scratch on every compute node.
+//
+// A Device is a single queueing channel with separate read and write
+// stream rates, a per-operation latency and (low) service-time jitter. FS
+// layers a flat local file system on top, including the fallocate fast path
+// used by ADIOI_Cache_alloc and the write-zeros fallback for file systems
+// without fallocate support (footnote 2 of the paper).
+package nvm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/extent"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Errors returned by the local file system.
+var (
+	ErrNoSpace  = errors.New("nvm: no space left on device")
+	ErrNotFound = errors.New("nvm: file not found")
+	ErrExists   = errors.New("nvm: file exists")
+	ErrIO       = errors.New("nvm: input/output error")
+)
+
+// DeviceConfig describes one SSD.
+type DeviceConfig struct {
+	WriteRate sim.Rate // sequential write stream rate
+	ReadRate  sim.Rate // sequential read stream rate
+	Latency   sim.Time // per-operation latency
+	Jitter    sim.Dist // service-time jitter (SSDs: low)
+	Capacity  int64    // usable bytes on the cache partition
+}
+
+// DefaultDeviceConfig returns parameters approximating the testbed's SATA
+// SSD scratch partition.
+func DefaultDeviceConfig() DeviceConfig {
+	return DeviceConfig{
+		WriteRate: 500 * sim.MBps,
+		ReadRate:  520 * sim.MBps,
+		// The latency models per-operation cost on a fragmented sparse
+		// ext4 scratch file, which dominates the 512 KB sync-buffer reads.
+		Latency:  500 * sim.Microsecond,
+		Jitter:   sim.UnitLogNormal(0.06),
+		Capacity: 30 << 30, // 30 GB
+	}
+}
+
+// Device is one node-local SSD.
+type Device struct {
+	k      *sim.Kernel
+	cfg    DeviceConfig
+	name   string
+	ch     *sim.Station // device command channel
+	used   int64
+	failed bool
+
+	// Statistics.
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// NewDevice creates a device on kernel k.
+func NewDevice(k *sim.Kernel, name string, cfg DeviceConfig) *Device {
+	return &Device{k: k, cfg: cfg, name: name, ch: sim.NewStation(k, name, 1)}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Used returns the allocated byte count.
+func (d *Device) Used() int64 { return d.used }
+
+// Capacity returns the configured capacity.
+func (d *Device) Capacity() int64 { return d.cfg.Capacity }
+
+// SetFailed injects (or clears) a device failure: subsequent writes and
+// allocations return ErrIO. Used for failure-injection tests — the cache
+// layer must fall back to the global file system.
+func (d *Device) SetFailed(v bool) { d.failed = v }
+
+// Failed reports the injected failure state.
+func (d *Device) Failed() bool { return d.failed }
+
+func (d *Device) serve(p *sim.Proc, rate sim.Rate, n int64) {
+	dur := d.cfg.Latency + rate.DurationFor(n)
+	dur = sim.Jitter(d.k.Rand(), d.cfg.Jitter, dur)
+	d.ch.Serve(p, dur)
+}
+
+// write charges a write of n bytes.
+func (d *Device) write(p *sim.Proc, n int64) {
+	d.serve(p, d.cfg.WriteRate, n)
+	d.BytesWritten += n
+}
+
+// read charges a read of n bytes.
+func (d *Device) read(p *sim.Proc, n int64) {
+	d.serve(p, d.cfg.ReadRate, n)
+	d.BytesRead += n
+}
+
+// reserve claims n bytes of capacity.
+func (d *Device) reserve(n int64) error {
+	if d.used+n > d.cfg.Capacity {
+		return fmt.Errorf("%w: need %d, free %d", ErrNoSpace, n, d.cfg.Capacity-d.used)
+	}
+	d.used += n
+	return nil
+}
+
+// release frees n bytes of capacity.
+func (d *Device) release(n int64) {
+	d.used -= n
+	if d.used < 0 {
+		panic("nvm: released more than reserved")
+	}
+}
+
+// FSConfig describes the local file system behaviour.
+type FSConfig struct {
+	SupportsFallocate bool // when false, Fallocate physically writes zeros
+}
+
+// FS is a flat local file system on one device.
+type FS struct {
+	dev     *Device
+	cfg     FSConfig
+	factory store.Factory
+	files   map[string]*File
+}
+
+// NewFS creates a local file system. factory selects the payload backend.
+func NewFS(dev *Device, cfg FSConfig, factory store.Factory) *FS {
+	return &FS{dev: dev, cfg: cfg, factory: factory, files: make(map[string]*File)}
+}
+
+// Device returns the underlying SSD.
+func (fs *FS) Device() *Device { return fs.dev }
+
+// Create creates a new file, failing if it already exists.
+func (fs *FS) Create(name string) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	f := &File{fs: fs, name: name, data: fs.factory()}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file, or creates it when create is true.
+func (fs *FS) Open(name string, create bool) (*File, error) {
+	if f, ok := fs.files[name]; ok {
+		return f, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return fs.Create(name)
+}
+
+// Remove unlinks a file, returning its allocated space to the device.
+func (fs *FS) Remove(name string) error {
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	fs.dev.release(f.Allocated())
+	delete(fs.files, name)
+	return nil
+}
+
+// Exists reports whether a file exists.
+func (fs *FS) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// File is a local file. Allocation is sparse (like ext4): only the byte
+// ranges actually written or fallocated consume device capacity, so a
+// cache file addressed at global-file offsets does not over-account.
+type File struct {
+	fs       *FS
+	name     string
+	data     store.Store
+	reserved extent.Set // ranges holding allocated blocks
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current file size.
+func (f *File) Size() int64 { return f.data.Size() }
+
+// Store exposes the payload backend (used by tests and the cache layer).
+func (f *File) Store() store.Store { return f.data }
+
+// Allocated returns the bytes of device capacity held by this file.
+func (f *File) Allocated() int64 { return f.reserved.TotalBytes() }
+
+// reserve claims capacity for the not-yet-allocated parts of e and returns
+// how many new bytes were claimed.
+func (f *File) reserve(e extent.Extent) (int64, error) {
+	if f.fs.dev.failed {
+		return 0, fmt.Errorf("%w: %s", ErrIO, f.fs.dev.name)
+	}
+	var need int64
+	for _, g := range f.reserved.Gaps(e) {
+		need += g.Len
+	}
+	if need == 0 {
+		return 0, nil
+	}
+	if err := f.fs.dev.reserve(need); err != nil {
+		return 0, err
+	}
+	f.reserved.Add(e)
+	return need, nil
+}
+
+// Fallocate reserves the byte range [off, off+size). With fallocate
+// support this is a metadata-only operation; without it, zeros are
+// physically written for the newly allocated bytes (the paper's fallback
+// path, footnote 2), costing full device write time.
+func (f *File) Fallocate(p *sim.Proc, off, size int64) error {
+	grow, err := f.reserve(extent.Extent{Off: off, Len: size})
+	if err != nil {
+		return err
+	}
+	if f.fs.cfg.SupportsFallocate {
+		f.fs.dev.serve(p, 0, 0) // one metadata op
+		return nil
+	}
+	if grow > 0 {
+		f.fs.dev.write(p, grow)
+		f.data.WriteAt(nil, off, size)
+	}
+	return nil
+}
+
+// WriteAt writes size bytes at off, charging device time. data may be nil
+// for metadata-only simulation.
+func (f *File) WriteAt(p *sim.Proc, data []byte, off, size int64) error {
+	if _, err := f.reserve(extent.Extent{Off: off, Len: size}); err != nil {
+		return err
+	}
+	f.fs.dev.write(p, size)
+	f.data.WriteAt(data, off, size)
+	return nil
+}
+
+// ReadAt reads len(buf) bytes (or size when buf is nil) at off.
+func (f *File) ReadAt(p *sim.Proc, buf []byte, off, size int64) {
+	if buf != nil {
+		size = int64(len(buf))
+	}
+	f.fs.dev.read(p, size)
+	if buf != nil {
+		f.data.ReadAt(buf, off)
+	}
+}

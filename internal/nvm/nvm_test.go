@@ -1,0 +1,180 @@
+package nvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func testDevice(k *sim.Kernel, capacity int64) *Device {
+	return NewDevice(k, "ssd0", DeviceConfig{
+		WriteRate: 100 * sim.MBps,
+		ReadRate:  200 * sim.MBps,
+		Latency:   10 * sim.Microsecond,
+		Capacity:  capacity,
+	})
+}
+
+func TestWriteChargesDeviceTime(t *testing.T) {
+	k := sim.NewKernel(1)
+	fs := NewFS(testDevice(k, 1<<30), FSConfig{SupportsFallocate: true}, store.NewMem)
+	var end sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		f, err := fs.Create("cache")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.WriteAt(p, nil, 0, 10_000_000); err != nil { // 10 MB at 100 MB/s = 100 ms
+			t.Error(err)
+		}
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 100*sim.Millisecond + 10*sim.Microsecond; end != want {
+		t.Fatalf("write end = %v, want %v", end, want)
+	}
+}
+
+func TestReadBackRoundTrip(t *testing.T) {
+	k := sim.NewKernel(1)
+	fs := NewFS(testDevice(k, 1<<20), FSConfig{SupportsFallocate: true}, store.NewMem)
+	k.Spawn("rw", func(p *sim.Proc) {
+		f, _ := fs.Create("f")
+		if err := f.WriteAt(p, []byte("payload"), 100, 7); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 7)
+		f.ReadAt(p, buf, 100, 7)
+		if !bytes.Equal(buf, []byte("payload")) {
+			t.Errorf("read %q", buf)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	k := sim.NewKernel(1)
+	fs := NewFS(testDevice(k, 1000), FSConfig{SupportsFallocate: true}, store.NewNull)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := fs.Create("f")
+		if err := f.WriteAt(p, nil, 0, 800); err != nil {
+			t.Error(err)
+		}
+		err := f.WriteAt(p, nil, 800, 300)
+		if !errors.Is(err, ErrNoSpace) {
+			t.Errorf("want ErrNoSpace, got %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveReturnsSpace(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := fs.Create("f")
+		if err := f.WriteAt(p, nil, 0, 1000); err != nil {
+			t.Error(err)
+		}
+		if dev.Used() != 1000 {
+			t.Errorf("used = %d", dev.Used())
+		}
+		if err := fs.Remove("f"); err != nil {
+			t.Error(err)
+		}
+		if dev.Used() != 0 {
+			t.Errorf("used after remove = %d", dev.Used())
+		}
+		if fs.Exists("f") {
+			t.Error("file still exists")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFallocateFastVsSlow(t *testing.T) {
+	run := func(fallocate bool) sim.Time {
+		k := sim.NewKernel(1)
+		fs := NewFS(testDevice(k, 1<<30), FSConfig{SupportsFallocate: fallocate}, store.NewNull)
+		var end sim.Time
+		k.Spawn("w", func(p *sim.Proc) {
+			f, _ := fs.Create("f")
+			if err := f.Fallocate(p, 0, 100_000_000); err != nil {
+				t.Error(err)
+			}
+			end = p.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	fast, slow := run(true), run(false)
+	if fast >= slow {
+		t.Fatalf("fallocate (%v) must beat write-zeros fallback (%v)", fast, slow)
+	}
+	if slow < 900*sim.Millisecond { // 100 MB at 100 MB/s
+		t.Fatalf("write-zeros fallback too fast: %v", slow)
+	}
+}
+
+func TestFallocateIdempotent(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := fs.Create("f")
+		if err := f.Fallocate(p, 0, 500); err != nil {
+			t.Error(err)
+		}
+		if err := f.Fallocate(p, 0, 500); err != nil {
+			t.Error(err)
+		}
+		if dev.Used() != 500 || f.Allocated() != 500 {
+			t.Errorf("used = %d alloc = %d, want 500", dev.Used(), f.Allocated())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenSemantics(t *testing.T) {
+	k := sim.NewKernel(1)
+	fs := NewFS(testDevice(k, 1000), FSConfig{}, store.NewNull)
+	if _, err := fs.Open("missing", false); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	f, err := fs.Open("new", true)
+	if err != nil || f == nil {
+		t.Fatalf("create-open failed: %v", err)
+	}
+	if _, err := fs.Create("new"); !errors.Is(err, ErrExists) {
+		t.Fatalf("want ErrExists, got %v", err)
+	}
+	f2, err := fs.Open("new", false)
+	if err != nil || f2 != f {
+		t.Fatal("reopen must return same file")
+	}
+}
+
+func TestDefaultDeviceConfig(t *testing.T) {
+	cfg := DefaultDeviceConfig()
+	if cfg.Capacity != 30<<30 || cfg.WriteRate <= 0 || cfg.ReadRate < cfg.WriteRate {
+		t.Fatalf("suspicious default config: %+v", cfg)
+	}
+}

@@ -1,0 +1,388 @@
+// Package pfs models the global parallel file system (BeeGFS on the DEEP-ER
+// cluster, §IV-A): a metadata server plus a set of data targets over which
+// file contents are striped. Each target is a FIFO queueing station with a
+// per-RPC latency, a stream rate, and log-normal service-time jitter that
+// reproduces the I/O-server load imbalance responsible for the paper's
+// slowest-writer synchronisation costs.
+//
+// Clients (one per compute node) push data in bounded-size RPCs through a
+// per-client throughput cap — modelling the file-system client stack — and
+// through the node's NIC, so file-system traffic and MPI traffic contend
+// for the same injection bandwidth, exactly as on the real machine.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/extent"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Errors returned by the file system.
+var (
+	ErrNotFound = errors.New("pfs: file not found")
+	ErrExists   = errors.New("pfs: file exists")
+)
+
+// Config describes a parallel file system instance.
+type Config struct {
+	Targets            int      // number of data targets (OSTs)
+	TargetRate         sim.Rate // per-target stream rate
+	TargetLatency      sim.Time // per-RPC service latency at a target
+	TargetJitter       sim.Dist // per-RPC jitter (load imbalance)
+	ClientRate         sim.Rate // per-client throughput cap
+	ClientRPCLatency   sim.Time // client-side per-RPC overhead
+	MaxRPC             int64    // maximum payload bytes per RPC
+	MetaLatency        sim.Time // metadata operation latency
+	DefaultStripeSize  int64    // stripe unit for new files
+	DefaultStripeCount int      // stripe width for new files
+	LockGranularity    int64    // >0: writes take whole-block write locks
+}
+
+// DefaultConfig approximates the paper's BeeGFS deployment: four data
+// targets of ~500 MB/s (≈2 GB/s aggregate), 4 MB stripes, stripe count 4.
+func DefaultConfig() Config {
+	return Config{
+		Targets:            4,
+		TargetRate:         640 * sim.MBps,
+		TargetLatency:      600 * sim.Microsecond,
+		TargetJitter:       sim.UnitLogNormal(0.45),
+		ClientRate:         400 * sim.MBps,
+		ClientRPCLatency:   1200 * sim.Microsecond,
+		MaxRPC:             2 << 20, // 2 MB
+		MetaLatency:        400 * sim.Microsecond,
+		DefaultStripeSize:  4 << 20,
+		DefaultStripeCount: 4,
+	}
+}
+
+// Striping captures a file's layout.
+type Striping struct {
+	StripeSize  int64 // bytes per stripe unit
+	StripeCount int   // number of targets the file spans
+	FirstTarget int   // index of the target holding stripe 0
+}
+
+// System is one parallel file system instance.
+type System struct {
+	k       *sim.Kernel
+	cfg     Config
+	targets []*sim.Station
+	meta    *sim.Station
+	files   map[string]*FileMeta
+	factory store.Factory
+	Locks   *LockManager
+	nextTgt int
+}
+
+// New creates a file system. factory selects the payload backend for newly
+// created files.
+func New(k *sim.Kernel, cfg Config, factory store.Factory) *System {
+	if cfg.Targets < 1 {
+		panic("pfs: need at least one target")
+	}
+	if cfg.MaxRPC <= 0 {
+		panic("pfs: MaxRPC must be positive")
+	}
+	s := &System{
+		k:       k,
+		cfg:     cfg,
+		meta:    sim.NewStation(k, "pfs.meta", 1),
+		files:   make(map[string]*FileMeta),
+		factory: factory,
+		Locks:   NewLockManager(k),
+	}
+	for i := 0; i < cfg.Targets; i++ {
+		s.targets = append(s.targets, sim.NewStation(k, fmt.Sprintf("pfs.tgt%d", i), 1))
+	}
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// TotalBytesWritten returns the bytes stored across all targets.
+func (s *System) TotalBytesWritten() int64 {
+	var n int64
+	for _, t := range s.targets {
+		n += t.Bytes
+	}
+	return n
+}
+
+// TargetUtilization returns each data target's busy fraction over the
+// given horizon.
+func (s *System) TargetUtilization(horizon sim.Time) []float64 {
+	out := make([]float64, len(s.targets))
+	for i, t := range s.targets {
+		out[i] = t.Utilization(horizon)
+	}
+	return out
+}
+
+// TargetBytes returns each data target's stored byte count.
+func (s *System) TargetBytes() []int64 {
+	out := make([]int64, len(s.targets))
+	for i, t := range s.targets {
+		out[i] = t.Bytes
+	}
+	return out
+}
+
+// MetaOps returns the number of metadata operations served.
+func (s *System) MetaOps() int64 { return s.meta.Served }
+
+// Lookup returns the metadata of an existing file, or nil.
+func (s *System) Lookup(name string) *FileMeta {
+	return s.files[name]
+}
+
+// FileMeta is the per-file state held by the metadata server.
+type FileMeta struct {
+	name     string
+	striping Striping
+	data     store.Store
+}
+
+// Name returns the file name.
+func (f *FileMeta) Name() string { return f.name }
+
+// Striping returns the file layout.
+func (f *FileMeta) Striping() Striping { return f.striping }
+
+// Size returns the current file size.
+func (f *FileMeta) Size() int64 { return f.data.Size() }
+
+// Store exposes the payload backend for verification in tests.
+func (f *FileMeta) Store() store.Store { return f.data }
+
+// Client is a compute node's view of the file system.
+type Client struct {
+	sys  *System
+	node *netsim.Node
+	cap  *sim.Station // per-client throughput cap
+
+	// Statistics.
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// NewClient creates the client for one compute node.
+func (s *System) NewClient(node *netsim.Node) *Client {
+	return &Client{
+		sys:  s,
+		node: node,
+		cap:  sim.NewStation(s.k, fmt.Sprintf("pfs.client.n%d", node.ID()), 1),
+	}
+}
+
+// Open opens (optionally creating) a file with the given striping; a zero
+// Striping takes the system defaults. The metadata server is charged.
+func (c *Client) Open(p *sim.Proc, name string, create bool, striping Striping) (*Handle, error) {
+	s := c.sys
+	s.meta.Serve(p, s.cfg.MetaLatency)
+	f, ok := s.files[name]
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		if striping.StripeSize <= 0 {
+			striping.StripeSize = s.cfg.DefaultStripeSize
+		}
+		if striping.StripeCount <= 0 {
+			striping.StripeCount = s.cfg.DefaultStripeCount
+		}
+		if striping.StripeCount > s.cfg.Targets {
+			striping.StripeCount = s.cfg.Targets
+		}
+		striping.FirstTarget = s.nextTgt % s.cfg.Targets
+		s.nextTgt++
+		f = &FileMeta{name: name, striping: striping, data: s.factory()}
+		s.files[name] = f
+	}
+	return &Handle{client: c, meta: f}, nil
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(p *sim.Proc, name string) error {
+	s := c.sys
+	s.meta.Serve(p, s.cfg.MetaLatency)
+	if _, ok := s.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(s.files, name)
+	return nil
+}
+
+// Handle is an open file on a particular client.
+type Handle struct {
+	client *Client
+	meta   *FileMeta
+}
+
+// Meta returns the file metadata.
+func (h *Handle) Meta() *FileMeta { return h.meta }
+
+// Close releases the handle (one metadata round trip).
+func (h *Handle) Close(p *sim.Proc) {
+	s := h.client.sys
+	s.meta.Serve(p, s.cfg.MetaLatency)
+}
+
+// targetFor returns the target index storing the stripe containing off.
+func (h *Handle) targetFor(off int64) int {
+	st := h.meta.striping
+	stripe := off / st.StripeSize
+	return (st.FirstTarget + int(stripe%int64(st.StripeCount))) % h.client.sys.cfg.Targets
+}
+
+// rpc is one bounded transfer to or from a single target.
+type rpc struct {
+	target int
+	ext    extent.Extent
+}
+
+// planRPCs splits [off, off+size) into per-target RPCs of at most MaxRPC
+// bytes, never crossing a stripe boundary.
+func (h *Handle) planRPCs(off, size int64) []rpc {
+	var out []rpc
+	st := h.meta.striping
+	cur := off
+	end := off + size
+	for cur < end {
+		stripeEnd := (cur/st.StripeSize + 1) * st.StripeSize
+		chunkEnd := min64(end, stripeEnd)
+		tgt := h.targetFor(cur)
+		for cur < chunkEnd {
+			n := min64(h.client.sys.cfg.MaxRPC, chunkEnd-cur)
+			out = append(out, rpc{target: tgt, ext: extent.Extent{Off: cur, Len: n}})
+			cur += n
+		}
+	}
+	return out
+}
+
+// WriteAt writes size bytes at off. data may be nil for metadata-only
+// payloads. The client streams to each involved target in parallel while
+// the per-client cap and the node NIC serialize the client side, modelling
+// a pipelined file-system client. Blocks p until all data is stored.
+func (h *Handle) WriteAt(p *sim.Proc, data []byte, off, size int64) {
+	if size == 0 {
+		return
+	}
+	s := h.client.sys
+	var lock *Lock
+	if g := s.cfg.LockGranularity; g > 0 {
+		lo := off / g * g
+		hi := (off + size + g - 1) / g * g
+		lock = s.Locks.Acquire(p, h.meta.name, WriteLock, extent.Extent{Off: lo, Len: hi - lo})
+	}
+	h.transfer(p, data, off, size, true)
+	if lock != nil {
+		s.Locks.Unlock(lock)
+	}
+	h.client.BytesWritten += size
+}
+
+// ReadAt reads into buf (or size bytes metadata-only when buf is nil).
+func (h *Handle) ReadAt(p *sim.Proc, buf []byte, off, size int64) {
+	if buf != nil {
+		size = int64(len(buf))
+	}
+	if size == 0 {
+		return
+	}
+	h.transfer(p, nil, off, size, false)
+	if buf != nil {
+		h.meta.data.ReadAt(buf, off)
+	}
+	h.client.BytesRead += size
+}
+
+// transfer moves the byte range between client and targets, blocking p.
+func (h *Handle) transfer(p *sim.Proc, data []byte, off, size int64, isWrite bool) {
+	s := h.client.sys
+	rpcs := h.planRPCs(off, size)
+	// Group RPCs by target and run one pipelined stream per target.
+	byTarget := make(map[int][]rpc)
+	order := make([]int, 0, 4)
+	for _, r := range rpcs {
+		if _, ok := byTarget[r.target]; !ok {
+			order = append(order, r.target)
+		}
+		byTarget[r.target] = append(byTarget[r.target], r)
+	}
+	k := s.k
+	if len(order) == 1 {
+		// Single-target fast path: stream inline on the calling process.
+		h.stream(p, byTarget[order[0]], isWrite)
+		if isWrite {
+			h.meta.data.WriteAt(data, off, size)
+		}
+		return
+	}
+	remaining := len(order)
+	done := sim.NewCond(k)
+	for _, tgt := range order {
+		chunks := byTarget[tgt]
+		k.Spawn(fmt.Sprintf("pfs.stream.n%d.t%d", h.client.node.ID(), tgt), func(sp *sim.Proc) {
+			h.stream(sp, chunks, isWrite)
+			remaining--
+			if remaining == 0 {
+				done.Signal()
+			}
+		})
+	}
+	if remaining > 0 {
+		done.Wait(p)
+	}
+	if isWrite {
+		h.meta.data.WriteAt(data, off, size)
+	}
+}
+
+// stream pushes one target's chunk list through the client stack, NIC and
+// target station, serialized per chunk (a pipelined RPC stream).
+func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) {
+	s := h.client.sys
+	for _, r := range chunks {
+		// Client-side stack (shared cap) then NIC, then target.
+		h.client.cap.ServeBytes(sp, s.cfg.ClientRPCLatency, s.cfg.ClientRate, r.ext.Len)
+		if isWrite {
+			h.client.node.Inject(sp, r.ext.Len)
+		}
+		sp.Sleep(2 * sim.Microsecond) // fabric hop to storage
+		d := s.cfg.TargetLatency + s.cfg.TargetRate.DurationFor(r.ext.Len)
+		d = sim.Jitter(s.k.Rand(), s.cfg.TargetJitter, d)
+		st := s.targets[r.target]
+		st.Serve(sp, d)
+		st.Bytes += r.ext.Len
+		if !isWrite {
+			h.client.node.Eject(sp, r.ext.Len)
+		}
+	}
+}
+
+// Sync charges a metadata round trip (data is written through in this
+// model, so sync has no additional data cost).
+func (h *Handle) Sync(p *sim.Proc) {
+	s := h.client.sys
+	s.meta.Serve(p, s.cfg.MetaLatency)
+}
+
+// Truncate sets the file size (one metadata round trip).
+func (h *Handle) Truncate(p *sim.Proc, size int64) {
+	s := h.client.sys
+	s.meta.Serve(p, s.cfg.MetaLatency)
+	h.meta.data.Truncate(size)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// event is a scheduled occurrence: either a process wake-up or a kernel
+// callback (used to start new processes and for timers).
+type event struct {
+	t   Time
+	seq uint64 // tie-break: FIFO among same-time events
+	p   *Proc  // process to resume, or nil
+	fn  func() // kernel callback, run inline (must not block)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not usable;
+// create kernels with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	nextID int
+
+	live    map[int]*Proc // all spawned, unfinished processes
+	yield   chan struct{} // process -> kernel: "I blocked or finished"
+	running bool
+	err     error
+}
+
+// NewKernel creates a kernel whose random number stream is seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		live:  make(map[int]*Proc),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random number generator. It must
+// only be used from simulation processes or kernel callbacks (the simulation
+// is single-threaded, so no locking is required).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// schedule inserts an event into the queue.
+func (k *Kernel) schedule(ev event) {
+	if ev.t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", ev.t, k.now))
+	}
+	ev.seq = k.seq
+	k.seq++
+	heap.Push(&k.queue, ev)
+}
+
+// After runs fn at time Now()+d in kernel context. fn must not block; it may
+// spawn processes or wake parked ones.
+func (k *Kernel) After(d Time, fn func()) {
+	k.schedule(event{t: k.now + d, fn: fn})
+}
+
+// Spawn creates a new simulation process that begins executing fn at the
+// current virtual time (or, when called before Run, at time zero).
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     k.nextID,
+		resume: make(chan struct{}),
+	}
+	k.nextID++
+	k.live[p.id] = p
+	k.schedule(event{t: k.now, fn: func() { k.start(p, fn) }})
+	return p
+}
+
+// start launches the process goroutine and immediately transfers control to
+// it. Called from kernel context.
+func (k *Kernel) start(p *Proc, fn func(p *Proc)) {
+	go func() {
+		<-p.resume // wait for the kernel to hand over control
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicked = r
+			}
+			p.done = true
+			delete(k.live, p.id)
+			k.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.transferTo(p)
+}
+
+// transferTo resumes p and waits until it blocks or finishes.
+func (k *Kernel) transferTo(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+	if p.panicked != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicked))
+	}
+}
+
+// Run executes events until the queue drains. It returns an error if, when
+// the queue is empty, some processes are still parked (a deadlock in the
+// simulated system), identifying the stuck processes.
+func (k *Kernel) Run() error {
+	if k.running {
+		return fmt.Errorf("sim: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.queue.Len() > 0 {
+		ev := heap.Pop(&k.queue).(event)
+		k.now = ev.t
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.p != nil:
+			if ev.p.done {
+				continue // stale wake for a finished process
+			}
+			k.transferTo(ev.p)
+		}
+	}
+	if len(k.live) > 0 {
+		names := make([]string, 0, len(k.live))
+		for _, p := range k.live {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		k.err = fmt.Errorf("sim: deadlock at t=%v: %d process(es) still blocked: %v", k.now, len(names), names)
+		return k.err
+	}
+	return nil
+}
+
+// Proc is a simulation process: a goroutine that the kernel schedules in
+// virtual time. All Proc methods must be called from the process's own
+// goroutine.
+type Proc struct {
+	k        *Kernel
+	name     string
+	id       int
+	resume   chan struct{}
+	done     bool
+	panicked interface{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's unique id within its kernel.
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// block transfers control back to the kernel and waits to be resumed.
+func (p *Proc) block() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		// Still yield, so that same-time events scheduled earlier run first.
+		p.k.schedule(event{t: p.k.now, p: p})
+		p.block()
+		return
+	}
+	p.k.schedule(event{t: p.k.now + d, p: p})
+	p.block()
+}
+
+// Park blocks the process until another process (or a kernel callback) wakes
+// it via Kernel.Wake. Each Park must be matched by exactly one Wake.
+func (p *Proc) Park() {
+	p.block()
+}
+
+// Wake schedules p to resume at the current virtual time. It must only be
+// called for a process that is currently parked (or about to park at the
+// same instant: wake events for same-time parks are delivered in order).
+func (k *Kernel) Wake(p *Proc) {
+	k.schedule(event{t: k.now, p: p})
+}
+
+// WakeAt schedules p to resume at time t >= Now().
+func (k *Kernel) WakeAt(t Time, p *Proc) {
+	k.schedule(event{t: t, p: p})
+}

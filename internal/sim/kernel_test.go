@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := NewKernel(1)
+	var end Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Second)
+		p.Sleep(250 * Millisecond)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 5*Second + 250*Millisecond; end != want {
+		t.Fatalf("end time = %v, want %v", end, want)
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			p.Sleep(1 * Second) // all wake at the same instant
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (full order %v)", i, v, i, order)
+		}
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAfterCallbackFires(t *testing.T) {
+	k := NewKernel(1)
+	var at Time = -1
+	k.After(3*Second, func() { at = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3*Second {
+		t.Fatalf("callback at %v, want 3s", at)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := NewKernel(1)
+	var childEnd Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(1 * Second)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(2 * Second)
+			childEnd = c.Now()
+		})
+		p.Sleep(10 * Second)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childEnd != 3*Second {
+		t.Fatalf("child end = %v, want 3s", childEnd)
+	}
+}
+
+func TestCondSignalWakesFIFO(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	var woken []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("waiter", func(p *Proc) {
+			p.Sleep(Time(i) * Millisecond) // park in index order
+			c.Wait(p)
+			woken = append(woken, i)
+		})
+	}
+	k.Spawn("signaller", func(p *Proc) {
+		p.Sleep(1 * Second)
+		c.Signal()
+		p.Sleep(1 * Second)
+		c.Broadcast()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 3 || woken[0] != 0 || woken[1] != 1 || woken[2] != 2 {
+		t.Fatalf("wake order = %v, want [0 1 2]", woken)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	k.Spawn("stuck", func(p *Proc) { c.Wait(p) })
+	if err := k.Run(); err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+}
+
+func TestStationSerializesSingleServer(t *testing.T) {
+	k := NewKernel(1)
+	s := NewStation(k, "disk", 1)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		k.Spawn("client", func(p *Proc) {
+			s.Serve(p, 1*Second)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ends {
+		if want := Time(i+1) * Second; e != want {
+			t.Fatalf("ends[%d] = %v, want %v", i, e, want)
+		}
+	}
+	if s.Served != 4 || s.BusyTime != 4*Second {
+		t.Fatalf("stats: served=%d busy=%v", s.Served, s.BusyTime)
+	}
+}
+
+func TestStationParallelServers(t *testing.T) {
+	k := NewKernel(1)
+	s := NewStation(k, "raid", 2)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		k.Spawn("client", func(p *Proc) {
+			s.Serve(p, 1*Second)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two at a time: completions at 1s,1s,2s,2s.
+	want := []Time{Second, Second, 2 * Second, 2 * Second}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestStationServeBytesAccounting(t *testing.T) {
+	k := NewKernel(1)
+	s := NewStation(k, "link", 1)
+	k.Spawn("client", func(p *Proc) {
+		s.ServeBytes(p, 1*Millisecond, 1000*MBps, 500_000_000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes != 500_000_000 {
+		t.Fatalf("bytes = %d", s.Bytes)
+	}
+	if got, want := k.Now(), 1*Millisecond+500*Millisecond; got != want {
+		t.Fatalf("elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestDeterminismSameSeedSameSchedule(t *testing.T) {
+	run := func(seed int64) []Time {
+		k := NewKernel(seed)
+		s := NewStation(k, "disk", 1)
+		jit := UnitLogNormal(0.4)
+		var ends []Time
+		for i := 0; i < 16; i++ {
+			k.Spawn("c", func(p *Proc) {
+				d := Jitter(k.Rand(), jit, 100*Millisecond)
+				s.Serve(p, d)
+				ends = append(ends, p.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ends
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jittered schedules")
+	}
+}
+
+func TestUnitLogNormalMeanNearOne(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := UnitLogNormal(0.45)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	mean := sum / n
+	if mean < 0.98 || mean > 1.02 {
+		t.Fatalf("mean = %f, want ~1", mean)
+	}
+}
+
+func TestRateDurationProperty(t *testing.T) {
+	f := func(kb uint16) bool {
+		n := int64(kb) * 1024
+		d := Rate(1 * GBps).DurationFor(n)
+		// 1 GB/s => 1 ns per byte, up to float rounding.
+		diff := int64(d) - n
+		return diff >= -1 && diff <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateDurationNonNegative(t *testing.T) {
+	if Rate(0).DurationFor(100) != 0 || Rate(100).DurationFor(-5) != 0 {
+		t.Fatal("degenerate rate/size must yield zero duration")
+	}
+}
+
+func TestJitterNilDistIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if Jitter(r, nil, 5*Second) != 5*Second {
+		t.Fatal("nil dist must not change duration")
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	k := NewKernel(1)
+	p1 := k.Spawn("alpha", func(p *Proc) {})
+	p2 := k.Spawn("beta", func(p *Proc) {})
+	if p1.Name() != "alpha" || p2.Name() != "beta" {
+		t.Fatal("names not preserved")
+	}
+	if p1.ID() == p2.ID() {
+		t.Fatal("ids must be unique")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeStringUnits(t *testing.T) {
+	cases := map[Time]string{
+		2 * Second:      "2.000s",
+		3 * Millisecond: "3.000ms",
+		4 * Microsecond: "4.000µs",
+		5:               "5ns",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestWakeAtFiresAtGivenTime(t *testing.T) {
+	k := NewKernel(1)
+	var sleeper *Proc
+	var woke Time
+	sleeper = k.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		woke = p.Now()
+	})
+	k.After(Millisecond, func() { k.WakeAt(2*Second, sleeper) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 2*Second {
+		t.Fatalf("woke at %v, want 2s", woke)
+	}
+}
+
+func TestStationQueueHighWaterMark(t *testing.T) {
+	k := NewKernel(1)
+	s := NewStation(k, "disk", 1)
+	for i := 0; i < 5; i++ {
+		k.Spawn("c", func(p *Proc) { s.Serve(p, Second) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.QueuedMax != 4 {
+		t.Fatalf("queue high-water = %d, want 4", s.QueuedMax)
+	}
+	if u := s.Utilization(5 * Second); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %f, want ~1", u)
+	}
+}
