@@ -1,0 +1,17 @@
+# Tier-1 gate plus static and race checks; see scripts/check.sh.
+.PHONY: check check-full test build vet
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+check:
+	scripts/check.sh
+
+check-full:
+	scripts/check.sh -full

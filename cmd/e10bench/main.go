@@ -32,6 +32,8 @@ func main() {
 		csv      = flag.String("csv", "", "also write results as CSV to this file")
 		files    = flag.Int("files", 4, "files written per experiment")
 		ablation = flag.Bool("ablation", false, "run the design-choice ablations instead of the figures")
+		faults   = flag.String("faults", "", "fault schedule armed on every cell (see internal/fault)")
+		fdemo    = flag.Bool("faultdemo", false, "run the degraded-PFS-target scenario instead of the figures")
 	)
 	flag.Parse()
 
@@ -45,6 +47,7 @@ func main() {
 		fatalf("unknown -sweep %q", *sweep)
 	}
 	sw.NFiles = *files
+	sw.FaultSpec = *faults
 	if *scale != "" {
 		var nodes, ppn int
 		if _, err := fmt.Sscanf(*scale, "%dx%d", &nodes, &ppn); err != nil || nodes < 1 || ppn < 1 {
@@ -63,6 +66,10 @@ func main() {
 
 	if *ablation {
 		runAblations(sw)
+		return
+	}
+	if *fdemo {
+		runFaultDemo(sw)
 		return
 	}
 
@@ -196,6 +203,45 @@ func runAblations(sw harness.Sweep) {
 		fmt.Printf("%-8.2f %12.2f %16.2f\n", sigma, res.BandwidthGBs,
 			res.Breakdown["post_write"].Seconds())
 	}
+}
+
+// runFaultDemo measures the EXPERIMENTS.md fault scenario: collective-write
+// bandwidth with one PFS data target degraded for most of the run, with and
+// without the node-local cache. The cache hides the slow target behind the
+// compute phases; without it the degradation lands on the write path.
+func runFaultDemo(sw harness.Sweep) {
+	w := workloads.DefaultCollPerf()
+	const spec = "degrade-target,target=1,factor=0.25,from=1s,to=200s"
+	run := func(cs harness.Case, faults string) *harness.Result {
+		s := harness.DefaultSpec(w, cs, 16, 16<<20)
+		s.Cluster = sw.Cluster
+		s.NFiles = sw.NFiles
+		s.ComputeDelay = sw.Compute
+		s.FaultSpec = faults
+		res, err := harness.Run(s)
+		if err != nil {
+			fatalf("faultdemo: %v", err)
+		}
+		return res
+	}
+
+	fmt.Println("Fault scenario — PFS data target 1 at 25% speed for [1s,200s), 16 aggregators, 16MB buffers")
+	fmt.Printf("%-16s %-10s %12s %18s\n", "case", "target", "BW [GB/s]", "not_hidden_sync[s]")
+	var report string
+	for _, cs := range []harness.Case{harness.CacheDisabled, harness.CacheEnabled} {
+		for _, faults := range []string{"", spec} {
+			res := run(cs, faults)
+			label := "healthy"
+			if faults != "" {
+				label = "degraded"
+				report = res.FaultReport
+			}
+			fmt.Printf("%-16s %-10s %12.2f %18.2f\n", cs, label, res.BandwidthGBs,
+				res.Breakdown["not_hidden_sync"].Seconds())
+		}
+	}
+	fmt.Println()
+	fmt.Print(report)
 }
 
 func byteLabel(n int64) string {

@@ -296,7 +296,9 @@ func (f *File) packAndWrite(win extent.Extent, msgs []*mpi.Message, selfExts []e
 		if scratch != nil {
 			wd = make([]byte, win.Len)
 		}
-		f.ReadContig(wd, win.Off, win.Len)
+		if err := f.ReadContig(wd, win.Off, win.Len); err != nil {
+			return err
+		}
 		if scratch != nil {
 			for _, run := range runs {
 				run = run.Intersect(win)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/pfs"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Driver is an ADIO file-system driver. A driver produces per-rank backend
@@ -28,9 +29,9 @@ type Driver interface {
 // DriverFile is one rank's open backend file.
 type DriverFile interface {
 	// WriteContig writes size contiguous bytes at off (ADIO_WriteContig).
-	WriteContig(p *sim.Proc, data []byte, off, size int64)
+	WriteContig(p *sim.Proc, data []byte, off, size int64) error
 	// ReadContig reads into buf (or size bytes metadata-only when buf nil).
-	ReadContig(p *sim.Proc, buf []byte, off, size int64)
+	ReadContig(p *sim.Proc, buf []byte, off, size int64) error
 	// Flush pushes dirty state to stable storage.
 	Flush(p *sim.Proc)
 	// Close releases the handle.
@@ -177,17 +178,25 @@ type ufsFile struct {
 	rank *mpi.Rank
 }
 
-func (f *ufsFile) WriteContig(p *sim.Proc, data []byte, off, size int64) {
-	f.h.WriteAt(p, data, off, size)
+func (f *ufsFile) WriteContig(p *sim.Proc, data []byte, off, size int64) error {
+	return f.h.WriteAt(p, data, off, size)
 }
 
-func (f *ufsFile) ReadContig(p *sim.Proc, buf []byte, off, size int64) {
-	f.h.ReadAt(p, buf, off, size)
+func (f *ufsFile) ReadContig(p *sim.Proc, buf []byte, off, size int64) error {
+	return f.h.ReadAt(p, buf, off, size)
 }
 
 func (f *ufsFile) Flush(p *sim.Proc) { f.h.Sync(p) }
 func (f *ufsFile) Close(p *sim.Proc) { f.h.Close(p) }
 func (f *ufsFile) Size() int64       { return f.h.Meta().Size() }
+
+// PayloadBacked reports whether the global file holds real bytes; the cache
+// layer's crash recovery only read-back-verifies replayed extents when it
+// does.
+func (f *ufsFile) PayloadBacked() bool {
+	_, ok := f.h.Meta().Store().(store.PayloadBacked)
+	return ok
+}
 
 func (f *ufsFile) Resize(p *sim.Proc, size int64) { f.h.Truncate(p, size) }
 

@@ -257,7 +257,9 @@ func (f *File) WriteContig(data []byte, off, size int64) error {
 			return nil
 		}
 	}
-	f.backend.WriteContig(f.rank.Proc(), data, off, size)
+	if err := f.backend.WriteContig(f.rank.Proc(), data, off, size); err != nil {
+		return err
+	}
 	f.Stats.BytesWritten += size
 	return nil
 }
@@ -266,13 +268,13 @@ func (f *File) WriteContig(data []byte, off, size int64) error {
 // from the cache (§III-B of the paper); when the cache layer implements
 // the optional ReadHooks extension (future work implemented here), locally
 // cached extents may be served from the SSD instead.
-func (f *File) ReadContig(buf []byte, off, size int64) {
+func (f *File) ReadContig(buf []byte, off, size int64) error {
 	if rh, ok := f.hooks.(ReadHooks); ok {
 		if handled, err := rh.ReadContig(f, buf, off, size); err == nil && handled {
-			return
+			return nil
 		}
 	}
-	f.backend.ReadContig(f.rank.Proc(), buf, off, size)
+	return f.backend.ReadContig(f.rank.Proc(), buf, off, size)
 }
 
 // Flush is ADIOI_GEN_Flush: drain the cache (when present), then flush the

@@ -108,7 +108,9 @@ func (f *File) sieveWrite(spanExt extent.Extent, segs []extent.Extent, pre []int
 		if data != nil {
 			wd = make([]byte, win.Len)
 		}
-		f.backend.ReadContig(p, wd, win.Off, win.Len)
+		if err := f.backend.ReadContig(p, wd, win.Off, win.Len); err != nil {
+			return err
+		}
 		if data != nil {
 			for _, e := range pieces {
 				copy(wd[e.Off-win.Off:], segPayload(e, segs, pre, data))
@@ -169,7 +171,9 @@ func (f *File) ReadStrided(segs []extent.Extent, buf []byte) error {
 		if buf != nil {
 			rd = buf[cursor : cursor+s.Len]
 		}
-		f.ReadContig(rd, s.Off, s.Len)
+		if err := f.ReadContig(rd, s.Off, s.Len); err != nil {
+			return err
+		}
 		cursor += s.Len
 	}
 	return nil
@@ -201,7 +205,9 @@ func (f *File) sieveRead(spanExt extent.Extent, segs []extent.Extent, pre []int6
 		if buf != nil {
 			wd = make([]byte, win.Len)
 		}
-		f.ReadContig(wd, win.Off, win.Len)
+		if err := f.ReadContig(wd, win.Off, win.Len); err != nil {
+			return err
+		}
 		if buf == nil {
 			continue
 		}

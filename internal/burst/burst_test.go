@@ -79,6 +79,9 @@ func TestBurstAbsorbsAndDrains(t *testing.T) {
 }
 
 func TestBurstPreservesContent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run; skipped in -short mode")
+	}
 	cfg := DefaultConfig()
 	cfg.WaitDrainOnClose = true
 	pool, w, fs, reg := bbRig(t, cfg, store.NewMem)

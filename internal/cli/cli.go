@@ -28,6 +28,7 @@ type Flags struct {
 	LastNHS *bool
 	Trace   *string
 	Stats   *bool
+	Faults  *string
 }
 
 // Register installs the common flags on fs with the paper's defaults.
@@ -44,6 +45,8 @@ func Register(fs *flag.FlagSet, includeLastSync bool) *Flags {
 		LastNHS: fs.Bool("last-sync", includeLastSync, "account the last write's non-hidden sync (IOR style)"),
 		Trace:   fs.String("trace", "", "write a Chrome trace-event JSON of all rank timelines to this file"),
 		Stats:   fs.Bool("stats", false, "print the cluster resource report after the run"),
+		Faults: fs.String("faults", "", "fault schedule, e.g. "+
+			"'degrade-target,target=1,factor=0.2,from=2s,to=8s;fail-device,node=0,at=5s'"),
 	}
 }
 
@@ -68,6 +71,7 @@ func (f *Flags) Spec(w workloads.Workload) (harness.Spec, error) {
 	spec.ComputeDelay = sim.FromSeconds(*f.Compute)
 	spec.IncludeLastSync = *f.LastNHS
 	spec.Trace = *f.Trace != ""
+	spec.FaultSpec = *f.Faults
 	return spec, nil
 }
 
@@ -102,6 +106,9 @@ func Report(out io.Writer, res *harness.Result) {
 		if d := res.Breakdown[ph]; d > 0 {
 			fmt.Fprintf(out, "    %-16s %8.3f s\n", ph, d.Seconds())
 		}
+	}
+	if res.FaultReport != "" {
+		fmt.Fprint(out, res.FaultReport)
 	}
 }
 

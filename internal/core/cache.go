@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -13,6 +14,10 @@ import (
 	"repro/internal/sim"
 	"repro/internal/store"
 )
+
+// ErrCrashed is returned by cache operations on a crashed node; the cache
+// file and its journal are retained for recovery at the next open.
+var ErrCrashed = errors.New("core: node crashed; cache file retained for recovery")
 
 // Env wires the cache layer into a simulated cluster: where each node's
 // local file system lives and which lock manager guards the global file
@@ -30,6 +35,31 @@ type Env struct {
 	// without flushing, measuring the theoretical bandwidth with the sync
 	// cost fully hidden.
 	SkipSync bool
+
+	// journals maps a cache file (node + cache path) to its dirty-extent
+	// journal: the extents written to the cache but not yet synced to the
+	// global file. Like the cache file itself, the journal outlives the
+	// open (it models a journal kept on the NVM device), which is what
+	// makes crash recovery possible.
+	journals map[string]*extent.Set
+}
+
+// journal returns (creating on demand) the dirty-extent journal for key.
+func (e *Env) journal(key string) *extent.Set {
+	if e.journals == nil {
+		e.journals = make(map[string]*extent.Set)
+	}
+	s, ok := e.journals[key]
+	if !ok {
+		s = &extent.Set{}
+		e.journals[key] = s
+	}
+	return s
+}
+
+// dropJournal discards the journal for key (the cache file was removed).
+func (e *Env) dropJournal(key string) {
+	delete(e.journals, key)
 }
 
 // HooksFactory returns the adio hook factory that installs a cache on
@@ -59,6 +89,11 @@ type Stats struct {
 	CoherentLockHeld int64 // extents locked by coherent mode
 	CacheReads       int64 // reads served from the local cache
 	Backoffs         int64 // adaptive-flush congestion backoffs
+	SyncRetries      int64 // failed sync chunks retried after backoff
+	SyncFailures     int64 // sync requests completed with a terminal error
+	RecoveredExtents int64 // journal extents replayed at open
+	RecoveredBytes   int64 // bytes replayed from the cache at open
+	CacheDegraded    bool  // cache device failed mid-run; writing through
 }
 
 // syncReq is one pending synchronisation request: move ext from the cache
@@ -79,6 +114,12 @@ type Cache struct {
 	fs    *nvm.FS
 	cfile *nvm.File
 	name  string
+
+	// dirty is the cache file's persistent journal: cached-but-unsynced
+	// extents. Shared with the Env registry so it survives close/crash.
+	dirty    *extent.Set
+	degraded bool // cache device failed mid-run; all writes go through
+	crashed  bool
 
 	syncer      *syncThread
 	pending     []*syncReq // created but not yet submitted (flush_onclose)
@@ -104,26 +145,99 @@ func newCache(env *Env, f *adio.File, opts Options) (*Cache, error) {
 	return c, nil
 }
 
-// AtOpenColl implements adio.Hooks: create the cache file and start the
-// sync thread.
+// journalKey identifies this cache file in the Env's journal registry.
+func (c *Cache) journalKey() string {
+	return fmt.Sprintf("n%d:%s", c.f.Rank().Node().ID(), c.name)
+}
+
+// AtOpenColl implements adio.Hooks: create the cache file, replay any
+// retained journal from a previous crashed session (e10_cache_recovery),
+// and start the sync thread.
 func (c *Cache) AtOpenColl(f *adio.File) error {
 	cf, err := c.fs.Open(c.name, true)
 	if err != nil {
 		return err
 	}
 	c.cfile = cf
+	c.dirty = c.env.journal(c.journalKey())
+	if c.opts.Recover && c.dirty.Len() > 0 {
+		if err := c.recover(f); err != nil {
+			// The cache file and journal stay behind for a later attempt;
+			// this open reverts to the standard path.
+			return fmt.Errorf("core: cache recovery: %w", err)
+		}
+	}
 	if !c.env.SkipSync {
 		c.syncer = startSyncThread(c)
 	}
 	return nil
 }
 
+// recover replays the journal's unsynced extents from the local cache file
+// to the global file — the paper's persistence argument (§III): data that
+// reached the NVM device survives a node crash and "can be synchronized at
+// a later stage". When both the cache and the global file carry real
+// payload, every replayed chunk is read back from the global file and
+// compared, so recovery is integrity-checked end to end.
+func (c *Cache) recover(f *adio.File) error {
+	p := f.Rank().Proc()
+	bufSize := f.Hints().IndWrBufferSize
+	if bufSize <= 0 {
+		bufSize = adio.DefaultIndWrBufferSize
+	}
+	_, cachePayload := c.cfile.Store().(store.PayloadBacked)
+	verifier, _ := f.Backend().(interface{ PayloadBacked() bool })
+	verify := cachePayload && verifier != nil && verifier.PayloadBacked()
+	for _, ext := range c.dirty.Extents() {
+		for off := ext.Off; off < ext.End(); off += bufSize {
+			n := min64(bufSize, ext.End()-off)
+			buf, err := c.readChunk(p, off, n)
+			if err != nil {
+				return err
+			}
+			if err := f.Backend().WriteContig(p, buf, off, n); err != nil {
+				return err
+			}
+			if verify && buf != nil {
+				vbuf := make([]byte, n)
+				if err := f.Backend().ReadContig(p, vbuf, off, n); err != nil {
+					return err
+				}
+				if !bytes.Equal(buf, vbuf) {
+					return fmt.Errorf("core: recovery verification failed at [%d,+%d)", off, n)
+				}
+			}
+			c.dirty.Remove(extent.Extent{Off: off, Len: n})
+			c.Stats.RecoveredBytes += n
+		}
+		c.Stats.RecoveredExtents++
+	}
+	return nil
+}
+
+// noteCacheError inspects a cache-device error: an I/O error marks the
+// device dead for the rest of the run (all further writes go through),
+// while ENOSPC stays per-write — space may free up later.
+func (c *Cache) noteCacheError(err error) {
+	if errors.Is(err, nvm.ErrIO) {
+		c.degraded = true
+		c.Stats.CacheDegraded = true
+	}
+}
+
 // WriteContig implements adio.Hooks: ADIOI_GEN_WriteContig writes through
 // cache_fd, allocates cache space with ADIOI_Cache_alloc (fallocate), and
 // posts a synchronisation request with an associated MPI_Request handle.
-// When the cache partition is full the write falls through to the global
-// file system (handled=false).
+// When the cache partition is full — or the device has failed mid-run —
+// the write falls through to the global file system (handled=false).
 func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, error) {
+	if c.crashed {
+		return false, ErrCrashed
+	}
+	if c.degraded || c.cfile == nil {
+		c.Stats.WriteThroughs++
+		return false, nil
+	}
 	r := f.Rank()
 	p := r.Proc()
 	e := extent.Extent{Off: off, Len: size}
@@ -135,11 +249,12 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 	}
 
 	if err := c.cfile.Fallocate(p, off, size); err != nil {
-		// No space: release the lock and let the write go to the global
-		// file directly.
+		// No space or dead device: release the lock and let the write go
+		// to the global file directly.
 		if lock != nil {
 			c.env.Locks.Unlock(lock)
 		}
+		c.noteCacheError(err)
 		c.Stats.WriteThroughs++
 		return false, nil
 	}
@@ -147,11 +262,13 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 		if lock != nil {
 			c.env.Locks.Unlock(lock)
 		}
+		c.noteCacheError(err)
 		c.Stats.WriteThroughs++
 		return false, nil
 	}
 	c.Stats.CacheWrites++
 	c.Stats.CacheBytes += size
+	c.dirty.Add(e)
 
 	if c.env.SkipSync {
 		if lock != nil {
@@ -178,7 +295,7 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 // the reading rank's own writes; cross-rank reads still go to the global
 // file.
 func (c *Cache) ReadContig(f *adio.File, buf []byte, off, size int64) (bool, error) {
-	if !c.opts.ReadCache || c.cfile == nil {
+	if !c.opts.ReadCache || c.cfile == nil || c.degraded || c.crashed {
 		return false, nil
 	}
 	if buf != nil {
@@ -187,7 +304,11 @@ func (c *Cache) ReadContig(f *adio.File, buf []byte, off, size int64) (bool, err
 	if !c.cfile.Store().Written().Covers(extent.Extent{Off: off, Len: size}) {
 		return false, nil
 	}
-	c.cfile.ReadAt(f.Rank().Proc(), buf, off, size)
+	if err := c.cfile.ReadAt(f.Rank().Proc(), buf, off, size); err != nil {
+		// Device died underneath us: fall through to the global file.
+		c.noteCacheError(err)
+		return false, nil
+	}
 	c.Stats.CacheReads++
 	return true, nil
 }
@@ -195,10 +316,16 @@ func (c *Cache) ReadContig(f *adio.File, buf []byte, off, size int64) (bool, err
 // AtFlush implements adio.Hooks: ADIOI_GEN_Flush. With flush_immediate it
 // waits for previously started sync requests; with flush_onclose it first
 // hands all pending requests to the sync thread, then waits. The wait time
-// is the not_hidden_sync term of Equation 1 and is recorded as such.
+// is the not_hidden_sync term of Equation 1 and is recorded as such. A
+// request whose extent could not be synced within the retry budget carries
+// a terminal error status, which is surfaced here — a failed sync is never
+// silent.
 func (c *Cache) AtFlush(f *adio.File) error {
 	if c.env.SkipSync {
 		return nil
+	}
+	if c.crashed {
+		return ErrCrashed
 	}
 	for _, req := range c.pending {
 		c.syncer.submit(req)
@@ -206,8 +333,12 @@ func (c *Cache) AtFlush(f *adio.File) error {
 	c.pending = nil
 	r := f.Rank()
 	start := r.Now()
+	var errs []error
 	for _, req := range c.outstanding {
 		r.Wait(req.greq)
+		if err := req.greq.Err(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	c.outstanding = nil
 	if wait := r.Now() - start; wait > 0 {
@@ -215,25 +346,61 @@ func (c *Cache) AtFlush(f *adio.File) error {
 		c.Stats.FlushWaitTime += wait
 		f.Log().Add(mpe.PhaseNotHiddenSync, wait)
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // AtClose implements adio.Hooks: ADIO_Close invokes ADIOI_GEN_Flush to
 // drain the cache, stops the sync thread, closes the cache file and, when
-// e10_cache_discard_flag is enable, removes it to free local space.
+// e10_cache_discard_flag is enable, removes it to free local space. When
+// the flush failed, the cache file holds the only surviving copy of the
+// unsynced extents, so it is retained regardless of the discard flag (its
+// journal stays with it) for recovery by a later open.
 func (c *Cache) AtClose(f *adio.File) error {
 	err := c.AtFlush(f)
 	if c.syncer != nil {
 		c.syncer.stop()
 	}
+	if err != nil {
+		return err
+	}
 	if c.opts.Discard && c.cfile != nil {
-		if rerr := c.fs.Remove(c.name); rerr != nil && err == nil {
+		if rerr := c.fs.Remove(c.name); rerr != nil {
 			err = rerr
+		} else {
+			c.env.dropJournal(c.journalKey())
 		}
 		c.cfile = nil
 	}
 	return err
 }
+
+// Crash simulates the rank's node dying: the sync thread stops mid-stream,
+// in-flight and pending requests are abandoned, and nothing is cleaned up —
+// the cache file and its journal survive on the NVM device, exactly the
+// persistence property the paper argues for. Coherent-mode locks held by
+// abandoned requests are released, as a lock manager's lease expiry would.
+func (c *Cache) Crash() {
+	if c.crashed {
+		return
+	}
+	c.crashed = true
+	for _, req := range c.pending {
+		if req.lock != nil {
+			c.env.Locks.Unlock(req.lock)
+		}
+	}
+	c.pending = nil
+	c.outstanding = nil
+	if c.syncer != nil {
+		c.syncer.crash()
+	}
+}
+
+// Crashed reports whether Crash was called.
+func (c *Cache) Crashed() bool { return c.crashed }
+
+// Dirty returns the unsynced-extent journal (tests inspect it).
+func (c *Cache) Dirty() *extent.Set { return c.dirty }
 
 // CacheFile exposes the underlying cache file (nil after a discarding
 // close); tests use it to inspect retained cache contents.
@@ -260,6 +427,7 @@ type syncThread struct {
 	queue   []*syncReq
 	cond    *sim.Cond
 	stopped bool
+	crashed bool
 	proc    *sim.Proc
 }
 
@@ -283,6 +451,19 @@ func (st *syncThread) stop() {
 	st.cond.Signal()
 }
 
+// crash kills the thread immediately: queued requests are dropped without
+// completing (the node is gone), their locks released.
+func (st *syncThread) crash() {
+	st.crashed = true
+	for _, req := range st.queue {
+		if req.lock != nil {
+			st.c.env.Locks.Unlock(req.lock)
+		}
+	}
+	st.queue = nil
+	st.cond.Signal()
+}
+
 func (st *syncThread) run(p *sim.Proc) {
 	c := st.c
 	bufSize := c.f.Hints().IndWrBufferSize
@@ -291,58 +472,126 @@ func (st *syncThread) run(p *sim.Proc) {
 	}
 	for {
 		for len(st.queue) == 0 {
-			if st.stopped {
+			if st.stopped || st.crashed {
 				return
 			}
 			st.cond.Wait(p)
 		}
+		if st.crashed {
+			return
+		}
 		req := st.queue[0]
 		st.queue = st.queue[1:]
-		// Drain the extent through the synchronisation buffer: a serial
-		// read(cache) -> write(global) pipeline in bufSize chunks, exactly
-		// like the pthread implementation in the paper.
-		adaptive := c.opts.FlushFlag == FlushAdaptive
-		var baseline sim.Time
-		for off := req.ext.Off; off < req.ext.End(); off += bufSize {
-			n := min64(bufSize, req.ext.End()-off)
-			start := p.Now()
-			buf := c.readChunk(p, off, n)
-			c.f.Backend().WriteContig(p, buf, off, n)
-			c.Stats.SyncedBytes += n
-			if !adaptive {
-				continue
+		err := st.syncExtent(p, req, bufSize)
+		if st.crashed {
+			// The node died mid-extent: abandon the request (nobody is
+			// left to observe it) but don't leak its lock.
+			if req.lock != nil {
+				c.env.Locks.Unlock(req.lock)
 			}
-			// Congestion-aware pacing (§III suggestion): track the best
-			// observed chunk time as the uncongested baseline and back off
-			// by the excess when a chunk runs far above it, ceding the
-			// I/O servers to foreground traffic.
-			took := p.Now() - start
-			if baseline == 0 || took < baseline {
-				baseline = took
-			}
-			if took > 2*baseline {
-				c.Stats.Backoffs++
-				p.Sleep(took - baseline)
-			}
+			return
 		}
+		// The lock is released whether the sync succeeded or aborted —
+		// a terminal failure must not leave the extent locked forever.
 		if req.lock != nil {
 			c.env.Locks.Unlock(req.lock)
 		}
+		if err != nil {
+			c.Stats.SyncFailures++
+			req.greq.CompleteWithError(fmt.Errorf("core: sync [%d,+%d): %w", req.ext.Off, req.ext.Len, err))
+			continue
+		}
 		req.greq.Complete()
+	}
+}
+
+// syncExtent drains one extent through the synchronisation buffer: a
+// serial read(cache) -> write(global) pipeline in bufSize chunks, exactly
+// like the pthread implementation in the paper. Failed chunks (cache read
+// or global write) are retried with exponential backoff up to the
+// RetryLimit budget; the extent's journal entry is cleared chunk by chunk
+// as data reaches the global file.
+func (st *syncThread) syncExtent(p *sim.Proc, req *syncReq, bufSize int64) error {
+	c := st.c
+	adaptive := c.opts.FlushFlag == FlushAdaptive
+	var baseline sim.Time
+	for off := req.ext.Off; off < req.ext.End(); off += bufSize {
+		if st.crashed {
+			return ErrCrashed
+		}
+		n := min64(bufSize, req.ext.End()-off)
+		start := p.Now()
+		if err := st.syncChunk(p, off, n); err != nil {
+			return err
+		}
+		c.Stats.SyncedBytes += n
+		c.dirty.Remove(extent.Extent{Off: off, Len: n})
+		if !adaptive {
+			continue
+		}
+		// Congestion-aware pacing (§III suggestion): track the best
+		// observed chunk time as the uncongested baseline and back off
+		// by the excess when a chunk runs far above it, ceding the
+		// I/O servers to foreground traffic.
+		took := p.Now() - start
+		if baseline == 0 || took < baseline {
+			baseline = took
+		}
+		if took > 2*baseline {
+			c.Stats.Backoffs++
+			p.Sleep(took - baseline)
+		}
+	}
+	return nil
+}
+
+// syncChunk moves one chunk cache -> global, retrying transient failures
+// with exponential backoff. Both legs can fail: the cache read (SSD died)
+// and the global write (storage target down); either way the data is still
+// safe in one of the two copies, so retrying is always sound.
+func (st *syncThread) syncChunk(p *sim.Proc, off, n int64) error {
+	c := st.c
+	backoff := c.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		var buf []byte
+		buf, err = c.readChunk(p, off, n)
+		if err == nil {
+			err = c.f.Backend().WriteContig(p, buf, off, n)
+			if err == nil {
+				return nil
+			}
+		}
+		if st.crashed {
+			return err
+		}
+		if attempt >= c.opts.RetryLimit {
+			return fmt.Errorf("%w (after %d attempts)", err, attempt+1)
+		}
+		c.Stats.SyncRetries++
+		p.Sleep(backoff)
+		backoff *= 2
 	}
 }
 
 // readChunk reads n bytes at off from the cache file, returning real bytes
 // when a payload-carrying store backs the cache file and nil otherwise
 // (the device time cost is charged either way).
-func (c *Cache) readChunk(p *sim.Proc, off, n int64) []byte {
+func (c *Cache) readChunk(p *sim.Proc, off, n int64) ([]byte, error) {
 	if _, isMem := c.cfile.Store().(store.PayloadBacked); isMem {
 		buf := make([]byte, n)
-		c.cfile.ReadAt(p, buf, off, n)
-		return buf
+		if err := c.cfile.ReadAt(p, buf, off, n); err != nil {
+			return nil, err
+		}
+		return buf, nil
 	}
-	c.cfile.ReadAt(p, nil, off, n)
-	return nil
+	if err := c.cfile.ReadAt(p, nil, off, n); err != nil {
+		return nil, err
+	}
+	return nil, nil
 }
 
 func min64(a, b int64) int64 {

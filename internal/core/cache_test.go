@@ -27,7 +27,12 @@ type rig struct {
 
 func newRig(t *testing.T, nodes, perNode int, factory store.Factory) *rig {
 	t.Helper()
-	k := sim.NewKernel(1)
+	return newRigSeed(t, 1, nodes, perNode, factory)
+}
+
+func newRigSeed(t *testing.T, seed int64, nodes, perNode int, factory store.Factory) *rig {
+	t.Helper()
+	k := sim.NewKernel(seed)
 	fab := netsim.New(k, netsim.Config{
 		Nodes: nodes, InjRate: 3 * sim.GBps, EjeRate: 3 * sim.GBps,
 		Latency: 2 * sim.Microsecond, MemRate: 6 * sim.GBps,

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/adio"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// setTargets flips every PFS data target up or down at once.
+func (rg *rig) setTargets(down bool) {
+	for i := 0; i < rg.fs.Config().Targets; i++ {
+		rg.fs.SetTargetDown(i, down)
+	}
+}
+
+func TestSyncRetriesTransientTargetOutage(t *testing.T) {
+	// All PFS targets go down right after the cached write; they come back
+	// 40 ms later, well inside the default retry budget (10+20+40+80 ms of
+	// backoff). The sync must retry, then succeed — no error, no data loss.
+	rg := newRig(t, 1, 1, store.NewNull)
+	err := rg.w.Run(func(r *mpi.Rank) {
+		f := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "enable", HintFlushFlag: "flush_immediate",
+		})
+		if err := f.WriteContig(nil, 0, 1<<20); err != nil {
+			t.Error(err)
+		}
+		rg.setTargets(true)
+		rg.k.After(40*sim.Millisecond, func() { rg.setTargets(false) })
+		r.Compute(sim.FromSeconds(2))
+		c := f.InstalledHooks().(*Cache)
+		if err := f.Close(); err != nil {
+			t.Errorf("close after transient outage: %v", err)
+		}
+		if c.Stats.SyncRetries == 0 {
+			t.Error("transient outage must be visible as SyncRetries")
+		}
+		if c.Stats.SyncFailures != 0 {
+			t.Errorf("no terminal failure expected, got %d", c.Stats.SyncFailures)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.fs.TotalBytesWritten() < 1<<20 {
+		t.Fatalf("global FS got %d bytes, want the full 1 MB", rg.fs.TotalBytesWritten())
+	}
+}
+
+func TestTerminalSyncFailureSurfacesAndRetainsCache(t *testing.T) {
+	// The PFS never comes back: the sync exhausts its retry budget. The
+	// failure must surface at close (never silent), the coherent-mode lock
+	// must not leak, and the cache file — now the only copy — must survive
+	// the close despite discard being enabled by default.
+	rg := newRig(t, 1, 1, store.NewNull)
+	err := rg.w.Run(func(r *mpi.Rank) {
+		f := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "coherent",
+			HintFlushFlag: "flush_immediate", HintCachePath: "/scratch",
+		})
+		if err := f.WriteContig(nil, 0, 1<<20); err != nil {
+			t.Error(err)
+		}
+		rg.setTargets(true)
+		// Long enough for every retry (10+20+40+80 ms) to burn out.
+		r.Compute(sim.FromSeconds(2))
+		if held := rg.fs.Locks.HeldLocks("global.dat"); held != 0 {
+			t.Errorf("aborted sync leaked %d coherent locks", held)
+		}
+		c := f.InstalledHooks().(*Cache)
+		if err := f.Close(); err == nil {
+			t.Error("close must surface the terminal sync failure")
+		}
+		if c.Stats.SyncFailures == 0 {
+			t.Error("terminal failure must be counted in SyncFailures")
+		}
+		if c.Stats.SyncRetries == 0 {
+			t.Error("retries must have been attempted first")
+		}
+		if c.Dirty().Len() == 0 {
+			t.Error("unsynced extents must stay journalled")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.nvms[0].Exists("/scratch/global.dat.cache.r0") {
+		t.Fatal("flush failure must retain the cache file (only surviving copy)")
+	}
+}
+
+func TestCrashReleasesLocksAndFailsFurtherIO(t *testing.T) {
+	rg := newRig(t, 1, 1, store.NewNull)
+	err := rg.w.Run(func(r *mpi.Rank) {
+		f := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "coherent", HintFlushFlag: "flush_immediate",
+		})
+		if err := f.WriteContig(nil, 0, 32<<20); err != nil {
+			t.Error(err)
+		}
+		if rg.fs.Locks.HeldLocks("global.dat") == 0 {
+			t.Error("coherent write must hold its lock while in transit")
+		}
+		c := f.InstalledHooks().(*Cache)
+		c.Crash()
+		// Let the sync thread observe the crash and unwind mid-extent.
+		r.Compute(sim.FromSeconds(1))
+		if held := rg.fs.Locks.HeldLocks("global.dat"); held != 0 {
+			t.Errorf("crash leaked %d locks", held)
+		}
+		if err := f.WriteContig(nil, 32<<20, 1<<20); !errors.Is(err, ErrCrashed) {
+			t.Errorf("write on crashed node: got %v, want ErrCrashed", err)
+		}
+		if err := f.Flush(); !errors.Is(err, ErrCrashed) {
+			t.Errorf("flush on crashed node: got %v, want ErrCrashed", err)
+		}
+		if !c.Crashed() {
+			t.Error("Crashed() must report the crash")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryReplaysJournalWithVerification(t *testing.T) {
+	// The end-to-end persistence story (§III): a node crashes with dirty
+	// data in its cache file; reopening the file with e10_cache_recovery
+	// replays the journalled extents from local NVM to the global file,
+	// verifying every chunk's payload. Deterministic across seeds.
+	const size = 1 << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 7 % 251)
+	}
+	run := func(seed int64) (walltime sim.Time, recovered int64) {
+		rg := newRigSeed(t, seed, 1, 1, store.NewMem)
+		err := rg.w.Run(func(r *mpi.Rank) {
+			// Session 1: cache the write, never sync (flush_onclose), crash.
+			f1 := rg.open(r, t, mpi.Info{
+				adio.HintCBWrite: "enable", HintCache: "enable", HintFlushFlag: "flush_onclose",
+			})
+			if err := f1.WriteContig(data, 256<<10, size); err != nil {
+				t.Error(err)
+			}
+			c1 := f1.InstalledHooks().(*Cache)
+			if c1.Dirty().Len() == 0 {
+				t.Error("cached write must be journalled as dirty")
+			}
+			c1.Crash()
+			if rg.fs.TotalBytesWritten() != 0 {
+				t.Error("nothing must have reached the global file before the crash")
+			}
+			// Session 2: reopen with recovery enabled.
+			f2, err := adio.OpenColl(r, adio.OpenArgs{
+				Comm: rg.w.Comm(), Registry: rg.reg, Path: "global.dat", Create: true,
+				Info: mpi.Info{
+					adio.HintCBWrite: "enable", HintCache: "enable",
+					HintCacheRecovery: "enable",
+				},
+				Hooks: rg.env.HooksFactory(),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c2 := f2.InstalledHooks().(*Cache)
+			if c2 == nil {
+				t.Error("recovery open fell back to the standard path")
+				return
+			}
+			recovered = c2.Stats.RecoveredBytes
+			if c2.Stats.RecoveredExtents != 1 || c2.Stats.RecoveredBytes != size {
+				t.Errorf("recovered %d extents / %d bytes, want 1 / %d",
+					c2.Stats.RecoveredExtents, c2.Stats.RecoveredBytes, size)
+			}
+			if c2.Dirty().Len() != 0 {
+				t.Error("journal must be clean after recovery")
+			}
+			if err := f2.Close(); err != nil {
+				t.Error(err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := rg.fs.Lookup("global.dat")
+		if meta == nil {
+			t.Fatal("global file missing after recovery")
+		}
+		got := make([]byte, size)
+		meta.Store().ReadAt(got, 256<<10)
+		if !bytes.Equal(got, data) {
+			t.Fatal("recovered payload does not match the crashed session's writes")
+		}
+		return rg.k.Now(), recovered
+	}
+	w1a, r1a := run(1)
+	w1b, r1b := run(1)
+	if w1a != w1b || r1a != r1b {
+		t.Fatalf("same seed must replay identically: %v/%d vs %v/%d", w1a, r1a, w1b, r1b)
+	}
+	if _, r2 := run(7); r2 != r1a {
+		t.Fatalf("recovery must not depend on the seed: %d vs %d bytes", r2, r1a)
+	}
+}
+
+func TestRetryHintsConfigureBudget(t *testing.T) {
+	// A zero retry limit fails fast: one attempt, no retries.
+	rg := newRig(t, 1, 1, store.NewNull)
+	err := rg.w.Run(func(r *mpi.Rank) {
+		f := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "enable", HintFlushFlag: "flush_immediate",
+			HintSyncRetryLimit: "0", HintSyncRetryBackoff: "1ms",
+		})
+		if err := f.WriteContig(nil, 0, 1<<20); err != nil {
+			t.Error(err)
+		}
+		rg.setTargets(true)
+		r.Compute(sim.FromSeconds(1))
+		rg.setTargets(false)
+		c := f.InstalledHooks().(*Cache)
+		if err := f.Close(); err == nil {
+			t.Error("zero retry budget must fail the sync")
+		}
+		if c.Stats.SyncRetries != 0 {
+			t.Errorf("retry limit 0 must not retry, got %d", c.Stats.SyncRetries)
+		}
+		if c.Stats.SyncFailures == 0 {
+			t.Error("failure must be counted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,8 +13,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/sim"
 )
 
 // Hint keys from Table II of the paper.
@@ -32,6 +35,23 @@ const (
 	// (§VI: "we plan to support cache reading operations"); it is NOT part
 	// of the published hint set and defaults to disable.
 	HintCacheRead = "e10_cache_read"
+
+	// HintCacheRecovery enables crash recovery: when a retained cache file
+	// from a previous (crashed) session exists at open, its unsynced
+	// extents are replayed to the global file before new writes start.
+	// This exercises the paper's persistence argument (§III: cached data
+	// survives node failures and "can be synchronized at a later stage").
+	// Defaults to disable.
+	HintCacheRecovery = "e10_cache_recovery"
+
+	// HintSyncRetryLimit bounds how many times the sync thread retries a
+	// failed global-file chunk write (exponential backoff between
+	// attempts) before completing the request with an error.
+	HintSyncRetryLimit = "e10_sync_retry_limit"
+
+	// HintSyncRetryBackoff is the initial retry backoff (a Go duration
+	// string such as "10ms"); it doubles after every failed attempt.
+	HintSyncRetryBackoff = "e10_sync_retry_backoff"
 )
 
 // e10_cache values.
@@ -54,22 +74,34 @@ const (
 
 // Options is the parsed Table II hint set.
 type Options struct {
-	Mode      string // disable | enable | coherent
-	Path      string // cache directory on the local file system
-	FlushFlag string // flush_immediate | flush_onclose | flush_adaptive
-	Discard   bool   // remove the cache file at close
-	ReadCache bool   // serve cached extents on reads (future-work extension)
+	Mode         string   // disable | enable | coherent
+	Path         string   // cache directory on the local file system
+	FlushFlag    string   // flush_immediate | flush_onclose | flush_adaptive
+	Discard      bool     // remove the cache file at close
+	ReadCache    bool     // serve cached extents on reads (future-work extension)
+	Recover      bool     // replay a retained cache file's unsynced extents at open
+	RetryLimit   int      // sync chunk retry budget (attempts beyond the first)
+	RetryBackoff sim.Time // initial backoff between retries; doubles per attempt
 }
+
+// DefaultRetryLimit and DefaultRetryBackoff govern sync-failure handling
+// when the e10_sync_retry_* hints are absent.
+const (
+	DefaultRetryLimit   = 4
+	DefaultRetryBackoff = 10 * sim.Millisecond
+)
 
 // ParseOptions extracts and validates the e10_* hints. Cache mode defaults
 // to disable, flush flag to flush_onclose and discard to enable (cache
 // files are scratch data).
 func ParseOptions(extra mpi.Info) (Options, error) {
 	o := Options{
-		Mode:      CacheDisable,
-		Path:      "/scratch",
-		FlushFlag: FlushOnClose,
-		Discard:   true,
+		Mode:         CacheDisable,
+		Path:         "/scratch",
+		FlushFlag:    FlushOnClose,
+		Discard:      true,
+		RetryLimit:   DefaultRetryLimit,
+		RetryBackoff: DefaultRetryBackoff,
 	}
 	if v, ok := extra.Get(HintCache); ok {
 		switch v {
@@ -112,6 +144,30 @@ func ParseOptions(extra mpi.Info) (Options, error) {
 		default:
 			return o, fmt.Errorf("core: %s: invalid value %q", HintDiscardFlag, v)
 		}
+	}
+	if v, ok := extra.Get(HintCacheRecovery); ok {
+		switch v {
+		case "enable":
+			o.Recover = true
+		case "disable":
+			o.Recover = false
+		default:
+			return o, fmt.Errorf("core: %s: invalid value %q", HintCacheRecovery, v)
+		}
+	}
+	if v, ok := extra.Get(HintSyncRetryLimit); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return o, fmt.Errorf("core: %s: invalid value %q", HintSyncRetryLimit, v)
+		}
+		o.RetryLimit = n
+	}
+	if v, ok := extra.Get(HintSyncRetryBackoff); ok {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return o, fmt.Errorf("core: %s: invalid value %q", HintSyncRetryBackoff, v)
+		}
+		o.RetryBackoff = sim.Time(d.Nanoseconds())
 	}
 	return o, nil
 }

@@ -1,0 +1,386 @@
+// Package fault is a deterministic, seed-independent fault-schedule engine
+// for the simulated cluster: timed faults are injected into every modelled
+// hardware layer — SSD failure and ENOSPC (internal/nvm), parallel-file-
+// system target outage and transient slowdown (internal/pfs), NIC/link
+// degradation (internal/netsim) — from a declarative schedule built in code
+// (At/Between builders) or parsed from a textual spec (Parse), so whole
+// fault scenarios replay bit-for-bit from one config.
+//
+// Faults fire as kernel callbacks at exact virtual times: a schedule armed
+// on a seeded kernel perturbs the simulation identically on every run,
+// which is what makes fault experiments comparable across code changes.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/nvm"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// Kind names one fault class.
+type Kind string
+
+// The supported fault kinds.
+const (
+	// FailDevice fails node N's SSD: cache allocations, writes and reads
+	// return I/O errors until the fault clears.
+	FailDevice Kind = "fail-device"
+	// DeviceENOSPC makes node N's SSD report out-of-space on allocation.
+	DeviceENOSPC Kind = "device-enospc"
+	// FailTarget takes PFS data target I offline: RPCs time out with
+	// ErrTargetDown until the fault clears.
+	FailTarget Kind = "fail-target"
+	// DegradeTarget scales PFS data target I's service rate by Factor.
+	DegradeTarget Kind = "degrade-target"
+	// DegradeLink scales node N's NIC bandwidth by Factor.
+	DegradeLink Kind = "degrade-link"
+)
+
+// Fault is one scheduled fault. From is when it is applied; To, when
+// non-zero, is when it reverts (Between). A zero To means the fault holds
+// for the rest of the run (At).
+type Fault struct {
+	Kind   Kind
+	Node   int     // FailDevice, DeviceENOSPC, DegradeLink
+	Target int     // FailTarget, DegradeTarget
+	Factor float64 // DegradeTarget, DegradeLink: speed factor in (0, 1]
+	From   sim.Time
+	To     sim.Time
+}
+
+// String renders the fault compactly, e.g. "degrade-target(t1,f=0.20)@2s-8s".
+func (f Fault) String() string {
+	var loc string
+	switch f.Kind {
+	case FailTarget, DegradeTarget:
+		loc = fmt.Sprintf("t%d", f.Target)
+	default:
+		loc = fmt.Sprintf("n%d", f.Node)
+	}
+	s := fmt.Sprintf("%s(%s", f.Kind, loc)
+	if f.Kind == DegradeTarget || f.Kind == DegradeLink {
+		s += fmt.Sprintf(",f=%.2f", f.Factor)
+	}
+	s += ")@" + f.From.String()
+	if f.To > 0 {
+		s += "-" + f.To.String()
+	}
+	return s
+}
+
+// Schedule is an ordered collection of faults.
+type Schedule struct {
+	faults []Fault
+}
+
+// Faults returns the scheduled faults.
+func (s *Schedule) Faults() []Fault {
+	out := make([]Fault, len(s.faults))
+	copy(out, s.faults)
+	return out
+}
+
+// Empty reports whether the schedule holds no faults.
+func (s *Schedule) Empty() bool { return s == nil || len(s.faults) == 0 }
+
+// Clause is a builder handle scoping faults to a time window.
+type Clause struct {
+	s        *Schedule
+	from, to sim.Time
+}
+
+// At starts a clause applying faults permanently from t on.
+func (s *Schedule) At(t sim.Time) *Clause { return &Clause{s: s, from: t} }
+
+// Between starts a clause applying faults during [from, to).
+func (s *Schedule) Between(from, to sim.Time) *Clause {
+	return &Clause{s: s, from: from, to: to}
+}
+
+func (c *Clause) add(f Fault) *Clause {
+	f.From, f.To = c.from, c.to
+	c.s.faults = append(c.s.faults, f)
+	return c
+}
+
+// FailDevice fails node's SSD.
+func (c *Clause) FailDevice(node int) *Clause {
+	return c.add(Fault{Kind: FailDevice, Node: node})
+}
+
+// DeviceENOSPC fills node's SSD.
+func (c *Clause) DeviceENOSPC(node int) *Clause {
+	return c.add(Fault{Kind: DeviceENOSPC, Node: node})
+}
+
+// FailTarget takes PFS target i offline.
+func (c *Clause) FailTarget(i int) *Clause {
+	return c.add(Fault{Kind: FailTarget, Target: i})
+}
+
+// DegradeTarget slows PFS target i to factor of nominal speed.
+func (c *Clause) DegradeTarget(i int, factor float64) *Clause {
+	return c.add(Fault{Kind: DegradeTarget, Target: i, Factor: factor})
+}
+
+// DegradeLink slows node's NIC to factor of nominal bandwidth.
+func (c *Clause) DegradeLink(node int, factor float64) *Clause {
+	return c.add(Fault{Kind: DegradeLink, Node: node, Factor: factor})
+}
+
+// Parse builds a schedule from a textual spec: semicolon-separated clauses
+// of comma-separated fields, e.g.
+//
+//	fail-device,node=0,at=5s
+//	device-enospc,node=1,from=1s,to=3s
+//	fail-target,target=2,from=2s,to=8s
+//	degrade-target,target=1,factor=0.2,from=2s,to=8s
+//	degrade-link,node=0,factor=0.5,at=500ms
+//
+// Durations use Go syntax (time.ParseDuration). "at=" schedules a permanent
+// fault; "from="/"to=" a reverting window.
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		fields := strings.Split(clause, ",")
+		f := Fault{Kind: Kind(strings.TrimSpace(fields[0])), Factor: 1}
+		switch f.Kind {
+		case FailDevice, DeviceENOSPC, FailTarget, DegradeTarget, DegradeLink:
+		default:
+			return nil, fmt.Errorf("fault: unknown kind %q in clause %q", f.Kind, clause)
+		}
+		var haveAt, haveFrom bool
+		for _, field := range fields[1:] {
+			field = strings.TrimSpace(field)
+			key, val, ok := strings.Cut(field, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: malformed field %q in clause %q", field, clause)
+			}
+			switch key {
+			case "node":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: bad node %q in clause %q", val, clause)
+				}
+				f.Node = n
+			case "target":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: bad target %q in clause %q", val, clause)
+				}
+				f.Target = n
+			case "factor":
+				x, err := strconv.ParseFloat(val, 64)
+				if err != nil || x <= 0 || x > 1 {
+					return nil, fmt.Errorf("fault: bad factor %q in clause %q (need (0,1])", val, clause)
+				}
+				f.Factor = x
+			case "at":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("fault: bad time %q in clause %q", val, clause)
+				}
+				f.From = sim.Time(d.Nanoseconds())
+				haveAt = true
+			case "from":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("fault: bad time %q in clause %q", val, clause)
+				}
+				f.From = sim.Time(d.Nanoseconds())
+				haveFrom = true
+			case "to":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("fault: bad time %q in clause %q", val, clause)
+				}
+				f.To = sim.Time(d.Nanoseconds())
+			default:
+				return nil, fmt.Errorf("fault: unknown field %q in clause %q", key, clause)
+			}
+		}
+		if haveAt && (haveFrom || f.To > 0) {
+			return nil, fmt.Errorf("fault: clause %q mixes at= with from=/to=", clause)
+		}
+		if f.To > 0 && f.To <= f.From {
+			return nil, fmt.Errorf("fault: clause %q has to <= from", clause)
+		}
+		if (f.Kind == DegradeTarget || f.Kind == DegradeLink) && f.Factor == 1 {
+			return nil, fmt.Errorf("fault: clause %q needs factor= in (0,1)", clause)
+		}
+		s.faults = append(s.faults, f)
+	}
+	if len(s.faults) == 0 {
+		return nil, errors.New("fault: empty schedule")
+	}
+	return s, nil
+}
+
+// Targets names the hardware a schedule is armed against. Any field may be
+// nil/absent as long as no scheduled fault needs it.
+type Targets struct {
+	// Devices maps a node index to its SSD (nil when the node has none).
+	Devices func(node int) *nvm.Device
+	// PFS is the global parallel file system.
+	PFS *pfs.System
+	// Net is the cluster interconnect.
+	Net *netsim.Fabric
+}
+
+// Stat records one fault's lifecycle for the report.
+type Stat struct {
+	Fault     Fault
+	AppliedAt sim.Time
+	ClearedAt sim.Time // zero while active / for permanent faults
+	Applied   bool
+	Cleared   bool
+}
+
+// Injector is an armed schedule: it owns the timed callbacks and the
+// per-fault stats.
+type Injector struct {
+	stats []Stat
+}
+
+// Arm validates the schedule against tg and registers kernel callbacks
+// applying (and, for windows, reverting) every fault at its exact virtual
+// time. Arm must run before k.Run so that no fault time lies in the past.
+func Arm(k *sim.Kernel, s *Schedule, tg Targets) (*Injector, error) {
+	if s.Empty() {
+		return &Injector{}, nil
+	}
+	inj := &Injector{stats: make([]Stat, len(s.faults))}
+	for i, f := range s.faults {
+		if err := validate(f, tg); err != nil {
+			return nil, err
+		}
+		inj.stats[i].Fault = f
+		i, f := i, f
+		k.After(f.From, func() {
+			apply(f, tg, true)
+			inj.stats[i].Applied = true
+			inj.stats[i].AppliedAt = k.Now()
+		})
+		if f.To > 0 {
+			k.After(f.To, func() {
+				apply(f, tg, false)
+				inj.stats[i].Cleared = true
+				inj.stats[i].ClearedAt = k.Now()
+			})
+		}
+	}
+	return inj, nil
+}
+
+// validate checks that tg can host f, failing at arm time rather than
+// mid-run.
+func validate(f Fault, tg Targets) error {
+	switch f.Kind {
+	case FailDevice, DeviceENOSPC:
+		if tg.Devices == nil || tg.Devices(f.Node) == nil {
+			return fmt.Errorf("fault: %s: node %d has no device", f.Kind, f.Node)
+		}
+	case FailTarget, DegradeTarget:
+		if tg.PFS == nil {
+			return fmt.Errorf("fault: %s: no PFS", f.Kind)
+		}
+		if f.Target >= tg.PFS.Config().Targets {
+			return fmt.Errorf("fault: %s: target %d out of range (%d targets)",
+				f.Kind, f.Target, tg.PFS.Config().Targets)
+		}
+	case DegradeLink:
+		if tg.Net == nil {
+			return fmt.Errorf("fault: %s: no fabric", f.Kind)
+		}
+		if f.Node >= tg.Net.Nodes() {
+			return fmt.Errorf("fault: %s: node %d out of range (%d nodes)",
+				f.Kind, f.Node, tg.Net.Nodes())
+		}
+	}
+	if f.Kind == DegradeTarget || f.Kind == DegradeLink {
+		if f.Factor <= 0 || f.Factor > 1 {
+			return fmt.Errorf("fault: %s: factor %v outside (0,1]", f.Kind, f.Factor)
+		}
+	}
+	return nil
+}
+
+// apply toggles one fault on (on=true) or back off.
+func apply(f Fault, tg Targets, on bool) {
+	switch f.Kind {
+	case FailDevice:
+		tg.Devices(f.Node).SetFailed(on)
+	case DeviceENOSPC:
+		tg.Devices(f.Node).SetNoSpace(on)
+	case FailTarget:
+		tg.PFS.SetTargetDown(f.Target, on)
+	case DegradeTarget:
+		factor := f.Factor
+		if !on {
+			factor = 1
+		}
+		tg.PFS.SetTargetSpeed(f.Target, factor)
+	case DegradeLink:
+		factor := f.Factor
+		if !on {
+			factor = 1
+		}
+		tg.Net.Node(f.Node).SetDegraded(factor)
+	}
+}
+
+// Stats returns the per-fault lifecycle records, in schedule order.
+func (inj *Injector) Stats() []Stat {
+	out := make([]Stat, len(inj.stats))
+	copy(out, inj.stats)
+	return out
+}
+
+// Active returns how many faults are currently applied but not cleared.
+func (inj *Injector) Active() int {
+	n := 0
+	for _, st := range inj.stats {
+		if st.Applied && !st.Cleared {
+			n++
+		}
+	}
+	return n
+}
+
+// Report renders the fault lifecycle deterministically (schedule order,
+// fixed formatting) so two seeded runs produce byte-identical output.
+func (inj *Injector) Report() string {
+	if len(inj.stats) == 0 {
+		return ""
+	}
+	stats := make([]Stat, len(inj.stats))
+	copy(stats, inj.stats)
+	sort.SliceStable(stats, func(i, j int) bool {
+		return stats[i].Fault.From < stats[j].Fault.From
+	})
+	var b strings.Builder
+	b.WriteString("fault schedule:\n")
+	for _, st := range stats {
+		state := "pending"
+		switch {
+		case st.Cleared:
+			state = fmt.Sprintf("cleared@%s", st.ClearedAt)
+		case st.Applied:
+			state = fmt.Sprintf("active since %s", st.AppliedAt)
+		}
+		fmt.Fprintf(&b, "  %-40s %s\n", st.Fault, state)
+	}
+	return b.String()
+}

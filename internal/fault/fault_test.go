@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/nvm"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// testTargets builds a minimal machine: one SSD, a 4-target PFS, a 2-node
+// fabric.
+func testTargets(k *sim.Kernel) Targets {
+	dev := nvm.NewDevice(k, "ssd0", nvm.DeviceConfig{
+		WriteRate: 100 * sim.MBps, ReadRate: 100 * sim.MBps, Capacity: 1 << 30,
+	})
+	cfg := pfs.DefaultConfig()
+	cfg.TargetJitter = nil
+	fab := netsim.New(k, netsim.Config{
+		Nodes: 2, InjRate: sim.GBps, EjeRate: sim.GBps,
+		Latency: sim.Microsecond, MemRate: 10 * sim.GBps,
+	})
+	return Targets{
+		Devices: func(n int) *nvm.Device {
+			if n != 0 {
+				return nil
+			}
+			return dev
+		},
+		PFS: pfs.New(k, cfg, store.NewNull),
+		Net: fab,
+	}
+}
+
+func TestParseAllKinds(t *testing.T) {
+	s, err := Parse("fail-device,node=0,at=5s;" +
+		"device-enospc,node=1,from=1s,to=3s;" +
+		"fail-target,target=2,from=2s,to=8s;" +
+		"degrade-target,target=1,factor=0.2,from=2s,to=8s;" +
+		"degrade-link,node=0,factor=0.5,at=500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := s.Faults()
+	if len(fs) != 5 {
+		t.Fatalf("parsed %d faults, want 5", len(fs))
+	}
+	if fs[0].Kind != FailDevice || fs[0].From != 5*sim.Second || fs[0].To != 0 {
+		t.Errorf("fault 0 = %+v", fs[0])
+	}
+	if fs[1].Kind != DeviceENOSPC || fs[1].Node != 1 || fs[1].From != sim.Second || fs[1].To != 3*sim.Second {
+		t.Errorf("fault 1 = %+v", fs[1])
+	}
+	if fs[3].Kind != DegradeTarget || fs[3].Target != 1 || fs[3].Factor != 0.2 {
+		t.Errorf("fault 3 = %+v", fs[3])
+	}
+	if fs[4].Kind != DegradeLink || fs[4].From != 500*sim.Millisecond {
+		t.Errorf("fault 4 = %+v", fs[4])
+	}
+	if got := fs[3].String(); got != "degrade-target(t1,f=0.20)@2.000s-8.000s" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                                     // empty schedule
+		"melt-cpu,node=0,at=1s",                // unknown kind
+		"fail-device,node0,at=1s",              // malformed field
+		"fail-device,node=-1,at=1s",            // bad node
+		"fail-target,target=x,at=1s",           // bad target
+		"degrade-target,target=0,factor=0,at=1s",  // factor out of range
+		"degrade-target,target=0,factor=1.5,at=1s", // factor out of range
+		"degrade-target,target=0,at=1s",        // degrade without factor
+		"fail-device,node=0,at=1s,to=2s",       // at mixed with to
+		"fail-device,node=0,from=2s,to=1s",     // to <= from
+		"fail-device,node=0,at=zzz",            // bad duration
+		"fail-device,node=0,huh=1",             // unknown field
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) must fail", spec)
+		}
+	}
+}
+
+func TestBuilderClauses(t *testing.T) {
+	s := &Schedule{}
+	s.At(sim.Second).FailDevice(0).DeviceENOSPC(1)
+	s.Between(2*sim.Second, 8*sim.Second).DegradeTarget(1, 0.2).FailTarget(2).DegradeLink(0, 0.5)
+	fs := s.Faults()
+	if len(fs) != 5 {
+		t.Fatalf("built %d faults, want 5", len(fs))
+	}
+	if fs[0].From != sim.Second || fs[0].To != 0 {
+		t.Errorf("At fault = %+v", fs[0])
+	}
+	if fs[2].From != 2*sim.Second || fs[2].To != 8*sim.Second || fs[2].Factor != 0.2 {
+		t.Errorf("Between fault = %+v", fs[2])
+	}
+	if (&Schedule{}).Empty() == false || s.Empty() {
+		t.Error("Empty() wrong")
+	}
+}
+
+func TestArmAppliesAndClearsAtExactTimes(t *testing.T) {
+	k := sim.NewKernel(1)
+	tg := testTargets(k)
+	s := &Schedule{}
+	s.Between(1*sim.Millisecond, 3*sim.Millisecond).FailDevice(0).DegradeLink(0, 0.5)
+	s.Between(2*sim.Millisecond, 4*sim.Millisecond).DegradeTarget(1, 0.25).FailTarget(2)
+	s.At(5 * sim.Millisecond).DeviceENOSPC(0)
+	inj, err := Arm(k, s, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sample struct {
+		failed, noSpace, tgtDown bool
+		tgtSpeed, link           float64
+		active                   int
+	}
+	probe := map[sim.Time]*sample{}
+	k.Spawn("probe", func(p *sim.Proc) {
+		for _, at := range []sim.Time{500 * sim.Microsecond, 1500 * sim.Microsecond,
+			2500 * sim.Microsecond, 3500 * sim.Microsecond, 6 * sim.Millisecond} {
+			p.Sleep(at - p.Now())
+			probe[at] = &sample{
+				failed:   tg.Devices(0).Failed(),
+				noSpace:  tg.Devices(0).NoSpace(),
+				tgtDown:  tg.PFS.TargetDown(2),
+				tgtSpeed: tg.PFS.TargetSpeed(1),
+				link:     tg.Net.Node(0).Degraded(),
+				active:   inj.Active(),
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for at, want := range map[sim.Time]sample{
+		500 * sim.Microsecond:  {failed: false, tgtSpeed: 1, link: 1, active: 0},
+		1500 * sim.Microsecond: {failed: true, tgtSpeed: 1, link: 0.5, active: 2},
+		2500 * sim.Microsecond: {failed: true, tgtDown: true, tgtSpeed: 0.25, link: 0.5, active: 4},
+		3500 * sim.Microsecond: {failed: false, tgtDown: true, tgtSpeed: 0.25, link: 1, active: 2},
+		6 * sim.Millisecond:    {noSpace: true, tgtSpeed: 1, link: 1, active: 1},
+	} {
+		got := probe[at]
+		if got == nil {
+			t.Fatalf("no sample at %v", at)
+		}
+		if got.failed != want.failed || got.noSpace != want.noSpace ||
+			got.tgtDown != want.tgtDown || got.tgtSpeed != want.tgtSpeed ||
+			got.link != want.link || got.active != want.active {
+			t.Errorf("at %v: got %+v, want %+v", at, *got, want)
+		}
+	}
+	for i, st := range inj.Stats() {
+		if !st.Applied {
+			t.Errorf("fault %d never applied", i)
+		}
+	}
+}
+
+func TestArmValidatesEagerly(t *testing.T) {
+	k := sim.NewKernel(1)
+	tg := testTargets(k)
+	for _, s := range []*Schedule{
+		(&Schedule{}).At(0).FailDevice(7).s,             // node without device
+		(&Schedule{}).At(0).FailTarget(99).s,            // target out of range
+		(&Schedule{}).At(0).DegradeLink(99, 0.5).s,      // node out of range
+		(&Schedule{}).At(0).DegradeTarget(0, 0).s,       // bad factor
+	} {
+		if _, err := Arm(k, s, tg); err == nil {
+			t.Errorf("Arm(%v) must fail", s.Faults())
+		}
+	}
+	if _, err := Arm(k, nil, tg); err != nil {
+		t.Errorf("nil schedule must arm as no-op: %v", err)
+	}
+}
+
+func TestReportIsDeterministic(t *testing.T) {
+	run := func() string {
+		k := sim.NewKernel(42)
+		tg := testTargets(k)
+		sched, err := Parse("degrade-target,target=1,factor=0.2,from=1ms,to=3ms;fail-device,node=0,at=2ms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, err := Arm(k, sched, tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Spawn("idle", func(p *sim.Proc) { p.Sleep(10 * sim.Millisecond) })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return inj.Report()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("replayed report differs:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "cleared@3.000ms") || !strings.Contains(a, "active since 2.000ms") {
+		t.Fatalf("report missing lifecycle states:\n%s", a)
+	}
+}

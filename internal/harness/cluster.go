@@ -11,6 +11,7 @@ import (
 	"repro/internal/adio"
 	"repro/internal/burst"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/netsim"
@@ -119,4 +120,25 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		cl.BB = burst.NewPool(k, *cfg.BurstBuffer, bbNodes, bbClients, factory)
 	}
 	return cl
+}
+
+// FaultTargets exposes the cluster's hardware to the fault engine.
+func (cl *Cluster) FaultTargets() fault.Targets {
+	return fault.Targets{
+		Devices: func(n int) *nvm.Device {
+			if n < 0 || n >= len(cl.NVMs) {
+				return nil
+			}
+			return cl.NVMs[n].Device()
+		},
+		PFS: cl.FS,
+		Net: cl.Fabric,
+	}
+}
+
+// ArmFaults validates s against this cluster and schedules its faults on
+// the kernel. Call before the run starts (fault times must not be in the
+// past). A nil/empty schedule arms nothing and returns an empty injector.
+func (cl *Cluster) ArmFaults(s *fault.Schedule) (*fault.Injector, error) {
+	return fault.Arm(cl.Kernel, s, cl.FaultTargets())
 }

@@ -18,6 +18,7 @@ type Sweep struct {
 	Cluster     ClusterConfig
 	NFiles      int
 	Compute     sim.Time
+	FaultSpec   string // optional fault.Parse schedule armed on every cell
 }
 
 // PaperSweep returns the full evaluation grid on the DEEP-ER profile.
@@ -78,6 +79,7 @@ func RunSweep(w workloads.Workload, cases []Case, sw Sweep, includeLastSync bool
 					StripeSize:      4 << 20,
 					StripeCount:     4,
 					SyncBuffer:      512 << 10,
+					FaultSpec:       sw.FaultSpec,
 				}
 				res, err := Run(spec)
 				if err != nil {

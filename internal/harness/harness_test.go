@@ -76,6 +76,9 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestPayloadModeMatchesMetadataOnlyTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run; skipped in -short mode")
+	}
 	spec := tinySpec(CacheEnabled, 4)
 	m, err := Run(spec)
 	if err != nil {
@@ -219,5 +222,67 @@ func TestPackedAggregatorPlacementHurtsCache(t *testing.T) {
 	if res2.BandwidthGBs >= res1.BandwidthGBs {
 		t.Fatalf("packed placement (%.2f) must lose to spread (%.2f)",
 			res2.BandwidthGBs, res1.BandwidthGBs)
+	}
+}
+
+func TestFaultScheduleReplaysByteIdentical(t *testing.T) {
+	spec := tinySpec(CacheEnabled, 4)
+	spec.FaultSpec = "degrade-target,target=1,factor=0.25,from=100ms,to=3s;degrade-link,node=0,factor=0.5,from=1s,to=2s"
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FaultReport == "" || a.FaultReport != b.FaultReport {
+		t.Fatalf("fault report must replay byte-identically:\n%s\nvs\n%s", a.FaultReport, b.FaultReport)
+	}
+	if a.WallTime != b.WallTime || a.BandwidthGBs != b.BandwidthGBs {
+		t.Fatalf("seeded fault run must replay exactly: %v/%f vs %v/%f",
+			a.WallTime, a.BandwidthGBs, b.WallTime, b.BandwidthGBs)
+	}
+}
+
+func TestDegradedTargetStretchesNotHiddenSync(t *testing.T) {
+	// With no compute phase to hide behind, the cache sync lands in
+	// not_hidden_sync; a degraded PFS target must stretch it.
+	mk := func(faults string) Spec {
+		spec := tinySpec(CacheEnabled, 4)
+		spec.ComputeDelay = 0
+		spec.FaultSpec = faults
+		return spec
+	}
+	healthy, err := Run(mk(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := Run(mk("degrade-target,target=0,factor=0.2,at=0s;" +
+		"degrade-target,target=1,factor=0.2,at=0s;" +
+		"degrade-target,target=2,factor=0.2,at=0s;" +
+		"degrade-target,target=3,factor=0.2,at=0s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, d := healthy.Breakdown[mpe.PhaseNotHiddenSync], degraded.Breakdown[mpe.PhaseNotHiddenSync]
+	if d <= h {
+		t.Fatalf("degraded targets must stretch not_hidden_sync: healthy %v, degraded %v", h, d)
+	}
+	if degraded.BandwidthGBs >= healthy.BandwidthGBs {
+		t.Fatalf("degraded run must lose bandwidth: %f vs %f",
+			degraded.BandwidthGBs, healthy.BandwidthGBs)
+	}
+}
+
+func TestBadFaultSpecFailsRun(t *testing.T) {
+	spec := tinySpec(CacheDisabled, 2)
+	spec.FaultSpec = "melt-cpu,node=0,at=1s"
+	if _, err := Run(spec); err == nil {
+		t.Fatal("unknown fault kind must fail the run")
+	}
+	spec.FaultSpec = "fail-target,target=99,at=1s"
+	if _, err := Run(spec); err == nil {
+		t.Fatal("out-of-range target must fail arming")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/adio"
 	"repro/internal/burst"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mpe"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
@@ -56,6 +57,11 @@ type Spec struct {
 	// ExtraHints are merged into the MPI_Info last (e.g. cb_config_list
 	// for placement experiments, e10_cache_read, ...).
 	ExtraHints map[string]string
+	// FaultSpec, when non-empty, is a fault.Parse schedule armed on the
+	// cluster before the run (e.g. "degrade-target,target=1,factor=0.2,
+	// from=2s,to=8s"). Fault injection is deterministic: the same spec and
+	// seed reproduce the same run byte for byte.
+	FaultSpec string
 }
 
 // DefaultSpec returns the paper's experiment parameters for a workload and
@@ -101,6 +107,9 @@ type Result struct {
 	Logs []*mpe.Log
 	// Report is the post-run cluster resource summary (ClusterReport).
 	Report string
+	// FaultReport is the armed fault schedule's lifecycle rendering, empty
+	// when no faults were injected.
+	FaultReport string
 }
 
 // Label renders the cell name the paper uses on its x axes,
@@ -153,6 +162,17 @@ func Run(spec Spec) (*Result, error) {
 		cl.CoreEnv.SkipSync = true
 	case spec.Case == BurstBuffer:
 		cl.Env.Hooks = cl.BB.HooksFactory()
+	}
+	var injector *fault.Injector
+	if spec.FaultSpec != "" {
+		sched, err := fault.Parse(spec.FaultSpec)
+		if err != nil {
+			return nil, err
+		}
+		injector, err = cl.ArmFaults(sched)
+		if err != nil {
+			return nil, err
+		}
 	}
 	w := cl.World
 	comm := w.Comm()
@@ -238,6 +258,9 @@ func Run(spec Spec) (*Result, error) {
 		Logs:       logs,
 	}
 	res.Report = ClusterReport(cl)
+	if injector != nil {
+		res.FaultReport = injector.Report()
+	}
 	var denom sim.Time
 	for k := 0; k < spec.NFiles; k++ {
 		var wait sim.Time

@@ -51,6 +51,9 @@ func TestShapeCacheWinsWithEnoughAggregators(t *testing.T) {
 // bandwidth collapses far below the theoretical one — it "can even
 // degrade" below the no-cache baseline.
 func TestShapeTooFewAggregatorsExposeSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run; skipped in -short mode")
+	}
 	spec := shapeSpec(CacheEnabled, 2, 4<<20)
 	spec.ComputeDelay = sim.Second
 	en := mustRun(t, spec)
@@ -94,6 +97,9 @@ func TestShapeCacheReducesGlobalSyncCost(t *testing.T) {
 // pressure. The relative gain from 8x bigger buffers must be much larger
 // without the cache than with it.
 func TestShapeSmallBuffersSufficeWithCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run; skipped in -short mode")
+	}
 	small, big := int64(1<<20), int64(8<<20)
 	disSmall := mustRun(t, shapeSpec(CacheDisabled, 16, small)).BandwidthGBs
 	disBig := mustRun(t, shapeSpec(CacheDisabled, 16, big)).BandwidthGBs
@@ -136,6 +142,9 @@ func TestShapeIORLastWriteCapsPeak(t *testing.T) {
 // Figure 4 vs Figure 7: Flash-IO (fewer, larger contiguous chunks per
 // rank) reaches at least coll_perf's cached bandwidth.
 func TestShapeFlashAtLeastCollPerf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run; skipped in -short mode")
+	}
 	fl := workloads.FlashIO{BlocksPerProc: 10, ZonesPerBlock: 16 * 16 * 16, Vars: 24, BytesPerZone: 8}
 	mk := func(w workloads.Workload) Spec {
 		spec := DefaultSpec(w, CacheEnabled, 16, 4<<20)
@@ -155,6 +164,9 @@ func TestShapeFlashAtLeastCollPerf(t *testing.T) {
 // than the PFS but cannot match the node-local cache, whose aggregate
 // bandwidth scales with the compute nodes.
 func TestShapeBurstBufferBetweenPFSAndCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run; skipped in -short mode")
+	}
 	dis := mustRun(t, shapeSpec(CacheDisabled, 16, 4<<20))
 	bb := mustRun(t, shapeSpec(BurstBuffer, 16, 4<<20))
 	en := mustRun(t, shapeSpec(CacheEnabled, 16, 4<<20))

@@ -24,6 +24,7 @@ type Message struct {
 type Request struct {
 	w      *World
 	done   bool
+	err    error    // terminal error status (generalized requests)
 	msg    *Message // received message, for receive requests
 	waiter *Rank    // rank parked in Wait, if any
 }
@@ -34,6 +35,10 @@ func (w *World) NewGrequest() *Request { return &Request{w: w} }
 
 // Done reports whether the operation has completed (MPI_Test).
 func (q *Request) Done() bool { return q.done }
+
+// Err returns the error status set at completion, nil for success or while
+// still in flight (the MPI_ERROR field of the request's status).
+func (q *Request) Err() error { return q.err }
 
 // Complete marks the request finished and wakes its waiter
 // (MPI_Grequest_complete for generalized requests; internal completion for
@@ -47,6 +52,13 @@ func (q *Request) Complete() {
 		q.w.k.Wake(q.waiter.proc)
 		q.waiter = nil
 	}
+}
+
+// CompleteWithError completes the request with a terminal error status,
+// which Wait surfaces to the waiter via Err.
+func (q *Request) CompleteWithError(err error) {
+	q.err = err
+	q.Complete()
 }
 
 // Wait blocks rank r until the request completes and returns the received

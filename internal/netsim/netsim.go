@@ -61,6 +61,7 @@ func New(k *sim.Kernel, cfg Config) *Fabric {
 			inj:    sim.NewStation(k, fmt.Sprintf("node%d.tx", i), 1),
 			eje:    sim.NewStation(k, fmt.Sprintf("node%d.rx", i), 1),
 			mem:    sim.NewStation(k, fmt.Sprintf("node%d.mem", i), 1),
+			slow:   1,
 		}
 	}
 	return f
@@ -85,24 +86,47 @@ type Node struct {
 	inj    *sim.Station
 	eje    *sim.Station
 	mem    *sim.Station
+	slow   float64 // link speed factor in (0, 1]; 1 = nominal
 }
 
 // ID returns the node index.
 func (n *Node) ID() int { return n.id }
+
+// SetDegraded scales this node's NIC bandwidth to factor (in (0, 1]) of
+// nominal — a flapping link or failed-over lane. factor 1 restores full
+// speed.
+func (n *Node) SetDegraded(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("netsim: degrade factor %v outside (0, 1]", factor))
+	}
+	n.slow = factor
+}
+
+// Degraded returns the current link speed factor.
+func (n *Node) Degraded() float64 { return n.slow }
+
+// stretch scales a nominal NIC duration by the degradation factor.
+func (n *Node) stretch(d sim.Time) sim.Time {
+	if n.slow == 1 {
+		return d
+	}
+	return sim.Time(float64(d) / n.slow)
+}
 
 // Inject occupies the node's TX port for the injection time of size bytes.
 // It returns after the message has fully left the sender.
 func (n *Node) Inject(p *sim.Proc, size int64) {
 	cfg := n.fabric.cfg
 	d := sim.Jitter(n.fabric.k.Rand(), cfg.InjJitter, cfg.InjRate.DurationFor(size))
-	n.inj.Serve(p, d)
+	n.inj.Serve(p, n.stretch(d))
 	n.inj.Bytes += size
 }
 
 // Eject occupies the node's RX port for the ejection time of size bytes.
 func (n *Node) Eject(p *sim.Proc, size int64) {
 	cfg := n.fabric.cfg
-	n.eje.ServeBytes(p, 0, cfg.EjeRate, size)
+	n.eje.Serve(p, n.stretch(cfg.EjeRate.DurationFor(size)))
+	n.eje.Bytes += size
 }
 
 // LocalCopy charges the shared intra-node memory path for size bytes; used

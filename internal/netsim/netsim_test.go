@@ -130,3 +130,38 @@ func TestInjectionJitterIsDeterministic(t *testing.T) {
 		t.Fatal("different seeds should differ")
 	}
 }
+
+func TestDegradedLinkSlowsTransfer(t *testing.T) {
+	run := func(factor float64) sim.Time {
+		k := sim.NewKernel(1)
+		f := New(k, testConfig(2))
+		if factor != 1 {
+			f.Node(0).SetDegraded(factor)
+		}
+		var end sim.Time
+		k.Spawn("tx", func(p *sim.Proc) {
+			f.Node(0).Transfer(p, f.Node(1), 10_000_000)
+			end = p.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	healthy, degraded := run(1), run(0.5)
+	if degraded <= healthy {
+		t.Fatalf("half-speed NIC must slow the transfer: %v vs %v", degraded, healthy)
+	}
+	// Only the injection side is degraded; ejection runs at full speed, so
+	// the 2x stretch applies to roughly half the transfer.
+	if degraded >= 2*healthy {
+		t.Fatalf("degradation overshoots: %v vs healthy %v", degraded, healthy)
+	}
+	f2 := New(sim.NewKernel(1), testConfig(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetDegraded(0) must panic")
+		}
+	}()
+	f2.Node(0).SetDegraded(0)
+}

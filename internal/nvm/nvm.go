@@ -51,12 +51,13 @@ func DefaultDeviceConfig() DeviceConfig {
 
 // Device is one node-local SSD.
 type Device struct {
-	k      *sim.Kernel
-	cfg    DeviceConfig
-	name   string
-	ch     *sim.Station // device command channel
-	used   int64
-	failed bool
+	k       *sim.Kernel
+	cfg     DeviceConfig
+	name    string
+	ch      *sim.Station // device command channel
+	used    int64
+	failed  bool
+	noSpace bool
 
 	// Statistics.
 	BytesWritten int64
@@ -85,6 +86,14 @@ func (d *Device) SetFailed(v bool) { d.failed = v }
 // Failed reports the injected failure state.
 func (d *Device) Failed() bool { return d.failed }
 
+// SetNoSpace injects (or clears) an out-of-space condition: subsequent
+// allocations return ErrNoSpace regardless of actual usage, as if another
+// tenant filled the scratch partition.
+func (d *Device) SetNoSpace(v bool) { d.noSpace = v }
+
+// NoSpace reports the injected out-of-space state.
+func (d *Device) NoSpace() bool { return d.noSpace }
+
 func (d *Device) serve(p *sim.Proc, rate sim.Rate, n int64) {
 	dur := d.cfg.Latency + rate.DurationFor(n)
 	dur = sim.Jitter(d.k.Rand(), d.cfg.Jitter, dur)
@@ -105,6 +114,9 @@ func (d *Device) read(p *sim.Proc, n int64) {
 
 // reserve claims n bytes of capacity.
 func (d *Device) reserve(n int64) error {
+	if d.noSpace {
+		return fmt.Errorf("%w: %s (injected)", ErrNoSpace, d.name)
+	}
 	if d.used+n > d.cfg.Capacity {
 		return fmt.Errorf("%w: need %d, free %d", ErrNoSpace, n, d.cfg.Capacity-d.used)
 	}
@@ -252,13 +264,20 @@ func (f *File) WriteAt(p *sim.Proc, data []byte, off, size int64) error {
 	return nil
 }
 
-// ReadAt reads len(buf) bytes (or size when buf is nil) at off.
-func (f *File) ReadAt(p *sim.Proc, buf []byte, off, size int64) {
+// ReadAt reads len(buf) bytes (or size when buf is nil) at off. A failed
+// device returns ErrIO after charging the attempt's latency, mirroring a
+// timed-out block-layer read.
+func (f *File) ReadAt(p *sim.Proc, buf []byte, off, size int64) error {
 	if buf != nil {
 		size = int64(len(buf))
+	}
+	if f.fs.dev.failed {
+		f.fs.dev.serve(p, 0, 0)
+		return fmt.Errorf("%w: %s", ErrIO, f.fs.dev.name)
 	}
 	f.fs.dev.read(p, size)
 	if buf != nil {
 		f.data.ReadAt(buf, off)
 	}
+	return nil
 }

@@ -178,3 +178,54 @@ func TestDefaultDeviceConfig(t *testing.T) {
 		t.Fatalf("suspicious default config: %+v", cfg)
 	}
 }
+
+func TestNoSpaceInjection(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1<<20)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := fs.Create("f")
+		dev.SetNoSpace(true)
+		if err := f.WriteAt(p, nil, 0, 100); !errors.Is(err, ErrNoSpace) {
+			t.Errorf("want injected ErrNoSpace, got %v", err)
+		}
+		// ENOSPC is per-operation: clearing it restores service.
+		dev.SetNoSpace(false)
+		if err := f.WriteAt(p, nil, 0, 100); err != nil {
+			t.Errorf("write after clearing: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailedDeviceReadAt(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1<<20)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewMem)
+	k.Spawn("rw", func(p *sim.Proc) {
+		f, _ := fs.Create("f")
+		if err := f.WriteAt(p, []byte("data"), 0, 4); err != nil {
+			t.Error(err)
+		}
+		dev.SetFailed(true)
+		buf := make([]byte, 4)
+		if err := f.ReadAt(p, buf, 0, 4); !errors.Is(err, ErrIO) {
+			t.Errorf("want ErrIO from failed device, got %v", err)
+		}
+		if err := f.WriteAt(p, nil, 4, 4); !errors.Is(err, ErrIO) {
+			t.Errorf("want ErrIO write, got %v", err)
+		}
+		dev.SetFailed(false)
+		if err := f.ReadAt(p, buf, 0, 4); err != nil {
+			t.Errorf("read after repair: %v", err)
+		}
+		if !bytes.Equal(buf, []byte("data")) {
+			t.Errorf("payload lost across failure: %q", buf)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,8 +23,9 @@ import (
 
 // Errors returned by the file system.
 var (
-	ErrNotFound = errors.New("pfs: file not found")
-	ErrExists   = errors.New("pfs: file exists")
+	ErrNotFound   = errors.New("pfs: file not found")
+	ErrExists     = errors.New("pfs: file exists")
+	ErrTargetDown = errors.New("pfs: storage target unreachable")
 )
 
 // Config describes a parallel file system instance.
@@ -71,11 +72,18 @@ type System struct {
 	k       *sim.Kernel
 	cfg     Config
 	targets []*sim.Station
+	tstate  []targetState
 	meta    *sim.Station
 	files   map[string]*FileMeta
 	factory store.Factory
 	Locks   *LockManager
 	nextTgt int
+}
+
+// targetState is the injected health of one data target.
+type targetState struct {
+	down  bool
+	speed float64 // service speed factor in (0, 1]; 1 = nominal
 }
 
 // New creates a file system. factory selects the payload backend for newly
@@ -97,9 +105,32 @@ func New(k *sim.Kernel, cfg Config, factory store.Factory) *System {
 	}
 	for i := 0; i < cfg.Targets; i++ {
 		s.targets = append(s.targets, sim.NewStation(k, fmt.Sprintf("pfs.tgt%d", i), 1))
+		s.tstate = append(s.tstate, targetState{speed: 1})
 	}
 	return s
 }
+
+// SetTargetDown marks target i unreachable (or restores it): RPCs touching
+// the target fail with ErrTargetDown after the RPC latency elapses, like a
+// timed-out storage server.
+func (s *System) SetTargetDown(i int, down bool) {
+	s.tstate[i].down = down
+}
+
+// TargetDown reports whether target i is marked unreachable.
+func (s *System) TargetDown(i int) bool { return s.tstate[i].down }
+
+// SetTargetSpeed scales target i's service rate to factor (in (0, 1]) of
+// nominal, modelling a transiently overloaded or rebuilding storage server.
+func (s *System) SetTargetSpeed(i int, factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("pfs: target speed factor %v outside (0, 1]", factor))
+	}
+	s.tstate[i].speed = factor
+}
+
+// TargetSpeed returns target i's current service speed factor.
+func (s *System) TargetSpeed(i int) float64 { return s.tstate[i].speed }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -268,10 +299,12 @@ func (h *Handle) planRPCs(off, size int64) []rpc {
 // WriteAt writes size bytes at off. data may be nil for metadata-only
 // payloads. The client streams to each involved target in parallel while
 // the per-client cap and the node NIC serialize the client side, modelling
-// a pipelined file-system client. Blocks p until all data is stored.
-func (h *Handle) WriteAt(p *sim.Proc, data []byte, off, size int64) {
+// a pipelined file-system client. Blocks p until all data is stored. A
+// down target fails the whole write with ErrTargetDown; no payload is
+// committed in that case.
+func (h *Handle) WriteAt(p *sim.Proc, data []byte, off, size int64) error {
 	if size == 0 {
-		return
+		return nil
 	}
 	s := h.client.sys
 	var lock *Lock
@@ -280,30 +313,39 @@ func (h *Handle) WriteAt(p *sim.Proc, data []byte, off, size int64) {
 		hi := (off + size + g - 1) / g * g
 		lock = s.Locks.Acquire(p, h.meta.name, WriteLock, extent.Extent{Off: lo, Len: hi - lo})
 	}
-	h.transfer(p, data, off, size, true)
+	err := h.transfer(p, data, off, size, true)
 	if lock != nil {
 		s.Locks.Unlock(lock)
 	}
+	if err != nil {
+		return err
+	}
 	h.client.BytesWritten += size
+	return nil
 }
 
 // ReadAt reads into buf (or size bytes metadata-only when buf is nil).
-func (h *Handle) ReadAt(p *sim.Proc, buf []byte, off, size int64) {
+func (h *Handle) ReadAt(p *sim.Proc, buf []byte, off, size int64) error {
 	if buf != nil {
 		size = int64(len(buf))
 	}
 	if size == 0 {
-		return
+		return nil
 	}
-	h.transfer(p, nil, off, size, false)
+	if err := h.transfer(p, nil, off, size, false); err != nil {
+		return err
+	}
 	if buf != nil {
 		h.meta.data.ReadAt(buf, off)
 	}
 	h.client.BytesRead += size
+	return nil
 }
 
 // transfer moves the byte range between client and targets, blocking p.
-func (h *Handle) transfer(p *sim.Proc, data []byte, off, size int64, isWrite bool) {
+// On error the payload is not committed; the first failing target (in
+// stripe order) determines the returned error, keeping runs deterministic.
+func (h *Handle) transfer(p *sim.Proc, data []byte, off, size int64, isWrite bool) error {
 	s := h.client.sys
 	rpcs := h.planRPCs(off, size)
 	// Group RPCs by target and run one pipelined stream per target.
@@ -318,18 +360,21 @@ func (h *Handle) transfer(p *sim.Proc, data []byte, off, size int64, isWrite boo
 	k := s.k
 	if len(order) == 1 {
 		// Single-target fast path: stream inline on the calling process.
-		h.stream(p, byTarget[order[0]], isWrite)
+		if err := h.stream(p, byTarget[order[0]], isWrite); err != nil {
+			return err
+		}
 		if isWrite {
 			h.meta.data.WriteAt(data, off, size)
 		}
-		return
+		return nil
 	}
 	remaining := len(order)
+	errs := make([]error, len(order))
 	done := sim.NewCond(k)
-	for _, tgt := range order {
-		chunks := byTarget[tgt]
+	for oi, tgt := range order {
+		oi, chunks := oi, byTarget[tgt]
 		k.Spawn(fmt.Sprintf("pfs.stream.n%d.t%d", h.client.node.ID(), tgt), func(sp *sim.Proc) {
-			h.stream(sp, chunks, isWrite)
+			errs[oi] = h.stream(sp, chunks, isWrite)
 			remaining--
 			if remaining == 0 {
 				done.Signal()
@@ -339,14 +384,22 @@ func (h *Handle) transfer(p *sim.Proc, data []byte, off, size int64, isWrite boo
 	if remaining > 0 {
 		done.Wait(p)
 	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	if isWrite {
 		h.meta.data.WriteAt(data, off, size)
 	}
+	return nil
 }
 
 // stream pushes one target's chunk list through the client stack, NIC and
-// target station, serialized per chunk (a pipelined RPC stream).
-func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) {
+// target station, serialized per chunk (a pipelined RPC stream). A chunk
+// addressed to a down target burns the RPC latency waiting for the timeout
+// and aborts the stream; a slowed target stretches its service time.
+func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) error {
 	s := h.client.sys
 	for _, r := range chunks {
 		// Client-side stack (shared cap) then NIC, then target.
@@ -355,8 +408,16 @@ func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) {
 			h.client.node.Inject(sp, r.ext.Len)
 		}
 		sp.Sleep(2 * sim.Microsecond) // fabric hop to storage
+		ts := s.tstate[r.target]
+		if ts.down {
+			sp.Sleep(s.cfg.TargetLatency) // RPC timeout
+			return fmt.Errorf("%w: tgt%d", ErrTargetDown, r.target)
+		}
 		d := s.cfg.TargetLatency + s.cfg.TargetRate.DurationFor(r.ext.Len)
 		d = sim.Jitter(s.k.Rand(), s.cfg.TargetJitter, d)
+		if ts.speed != 1 {
+			d = sim.Time(float64(d) / ts.speed)
+		}
 		st := s.targets[r.target]
 		st.Serve(sp, d)
 		st.Bytes += r.ext.Len
@@ -364,6 +425,7 @@ func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) {
 			h.client.node.Eject(sp, r.ext.Len)
 		}
 	}
+	return nil
 }
 
 // Sync charges a metadata round trip (data is written through in this

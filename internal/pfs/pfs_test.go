@@ -379,3 +379,57 @@ func TestUtilizationAccessors(t *testing.T) {
 		t.Fatal("metadata ops not counted")
 	}
 }
+
+func TestTargetDownFailsWrites(t *testing.T) {
+	k := sim.NewKernel(1)
+	s, f := testSystem(k, 4)
+	c := s.NewClient(f.Node(0))
+	k.Spawn("client", func(p *sim.Proc) {
+		h, _ := c.Open(p, "f", true, Striping{StripeSize: 4096, StripeCount: 4})
+		s.SetTargetDown(1, true)
+		// Stripe 1 lands on the downed target.
+		err := h.WriteAt(p, nil, 4096, 4096)
+		if !errors.Is(err, ErrTargetDown) {
+			t.Errorf("want ErrTargetDown, got %v", err)
+		}
+		// Other targets stay up.
+		if err := h.WriteAt(p, nil, 0, 4096); err != nil {
+			t.Errorf("healthy target write failed: %v", err)
+		}
+		s.SetTargetDown(1, false)
+		if err := h.WriteAt(p, nil, 4096, 4096); err != nil {
+			t.Errorf("write after target restore: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegradedTargetStretchesService(t *testing.T) {
+	run := func(factor float64) sim.Time {
+		k := sim.NewKernel(1)
+		s, f := testSystem(k, 1)
+		c := s.NewClient(f.Node(0))
+		if factor != 1 {
+			s.SetTargetSpeed(0, factor)
+		}
+		var end sim.Time
+		k.Spawn("client", func(p *sim.Proc) {
+			h, _ := c.Open(p, "f", true, Striping{StripeSize: 1 << 20, StripeCount: 1})
+			if err := h.WriteAt(p, nil, 0, 16<<20); err != nil {
+				t.Error(err)
+			}
+			end = p.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	healthy, degraded := run(1), run(0.25)
+	// A quarter-speed target must take roughly four times as long.
+	if degraded < 3*healthy {
+		t.Fatalf("degraded target too fast: healthy %v, degraded %v", healthy, degraded)
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# check.sh — the repo's tier-1 gate plus static and race checks.
+#
+#   scripts/check.sh          # build, vet, full tests, race tests (-short)
+#   scripts/check.sh -full    # same, but the race pass runs the full suite
+#
+# The race pass defaults to -short: the heavy end-to-end shape tests guard
+# themselves with testing.Short() so the race detector finishes in seconds
+# instead of minutes. Pass -full before a release.
+set -eu
+cd "$(dirname "$0")/.."
+
+race_flags="-short"
+if [ "${1:-}" = "-full" ]; then
+    race_flags=""
+fi
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./...   (tier-1)"
+go test ./...
+
+echo "== go test -race $race_flags ./..."
+# shellcheck disable=SC2086 # race_flags is intentionally word-split
+go test -race -count=1 $race_flags ./...
+
+echo "== all checks passed"
