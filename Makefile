@@ -1,5 +1,5 @@
-# Tier-1 gate plus static and race checks; see scripts/check.sh.
-.PHONY: check check-full test build vet
+# Tier-1 gate plus static, race and coverage checks; see scripts/check.sh.
+.PHONY: check check-full test build vet fmt-check cover trace-demo
 
 build:
 	go build ./...
@@ -9,6 +9,21 @@ vet:
 
 test:
 	go test ./...
+
+# Fail if any file is not gofmt-clean.
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+# Total statement coverage, printed per function and as a total.
+cover:
+	go test -count=1 -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -20
+
+# Trace one representative cache-enabled coll_perf cell to trace.json;
+# open the file with https://ui.perfetto.dev (byte-reproducible per seed).
+trace-demo:
+	go run ./cmd/e10bench -trace trace.json -scale 8x4 -files 2
 
 check:
 	scripts/check.sh

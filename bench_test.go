@@ -233,6 +233,28 @@ func BenchmarkComparisonBurstBuffer(b *testing.B) {
 	}
 }
 
+// ---- Observability ----
+
+// BenchmarkTracingOverhead runs the same cell with the event tracer off and
+// on. The delta is the real (host-CPU) cost of recording ~10^5 events; the
+// simulated numbers are identical either way (see harness.TestTracingDoesNotPerturb).
+func BenchmarkTracingOverhead(b *testing.B) {
+	for _, traced := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		traced := traced
+		b.Run(traced.name, func(b *testing.B) {
+			spec := benchSpec(benchCollPerf(), harness.CacheEnabled, 16, 4<<20, false)
+			spec.TraceEvents = traced.on
+			res := runCell(b, spec)
+			if traced.on {
+				b.ReportMetric(float64(res.Trace.Len()), "events")
+			}
+		})
+	}
+}
+
 // ---- Substrate micro-benchmarks ----
 
 // BenchmarkTwoPhaseExchange measures the raw ext2ph machinery (simulator

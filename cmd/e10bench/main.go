@@ -34,6 +34,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the design-choice ablations instead of the figures")
 		faults   = flag.String("faults", "", "fault schedule armed on every cell (see internal/fault)")
 		fdemo    = flag.Bool("faultdemo", false, "run the degraded-PFS-target scenario instead of the figures")
+		tracef   = flag.String("trace", "", "trace one representative cache-enabled coll_perf cell to this Chrome/Perfetto JSON file instead of the figures")
 	)
 	flag.Parse()
 
@@ -70,6 +71,10 @@ func main() {
 	}
 	if *fdemo {
 		runFaultDemo(sw)
+		return
+	}
+	if *tracef != "" {
+		runTraceDemo(sw, *tracef)
 		return
 	}
 
@@ -242,6 +247,34 @@ func runFaultDemo(sw harness.Sweep) {
 	}
 	fmt.Println()
 	fmt.Print(report)
+}
+
+// runTraceDemo runs one representative cache-enabled coll_perf cell (16
+// aggregators, 16 MB collective buffers — the middle of Figure 4's grid)
+// with the event tracer attached, writes the Perfetto-loadable trace file
+// and prints the trace digest. Traces are deterministic: the same seed and
+// scale reproduce the file byte for byte.
+func runTraceDemo(sw harness.Sweep, path string) {
+	w := workloads.DefaultCollPerf()
+	aggs := 16
+	if n := sw.Cluster.Nodes * sw.Cluster.RanksPerNode; aggs > n {
+		aggs = n
+	}
+	spec := harness.DefaultSpec(w, harness.CacheEnabled, aggs, 16<<20)
+	spec.Cluster = sw.Cluster
+	spec.NFiles = sw.NFiles
+	spec.ComputeDelay = sw.Compute
+	spec.FaultSpec = sw.FaultSpec
+	spec.TracePath = path
+	res, err := harness.Run(spec)
+	if err != nil {
+		fatalf("trace: %v", err)
+	}
+	fmt.Printf("traced %s cell=%s case=%s: %.2f GB/s, %.2f s simulated\n",
+		w.Name(), spec.Label(), spec.Case, res.BandwidthGBs, res.WallTime.Seconds())
+	fmt.Print(res.TraceSummary)
+	fmt.Printf("wrote %s (%d events on %d tracks); open with https://ui.perfetto.dev or chrome://tracing\n",
+		path, res.Trace.Len(), res.Trace.Tracks())
 }
 
 func byteLabel(n int64) string {

@@ -65,9 +65,7 @@ func main() {
 		cli.Fatalf("flashio", "%v", err)
 	}
 	cli.Report(os.Stdout, res)
-	if err := flags.WriteTrace(res); err != nil {
-		cli.Fatalf("trace", "%v", err)
-	}
+	flags.ReportTrace(os.Stdout, res)
 	flags.MaybeReport(os.Stdout, res)
 	fmt.Printf("  checkpoint size    : %.2f GB/process-file\n",
 		float64(base.FileBytes(spec.Cluster.Nodes*spec.Cluster.RanksPerNode))/1e9)

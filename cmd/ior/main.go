@@ -36,8 +36,6 @@ func main() {
 		cli.Fatalf("ior", "%v", err)
 	}
 	cli.Report(os.Stdout, res)
-	if err := flags.WriteTrace(res); err != nil {
-		cli.Fatalf("trace", "%v", err)
-	}
+	flags.ReportTrace(os.Stdout, res)
 	flags.MaybeReport(os.Stdout, res)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mpe"
 	"repro/internal/mpi"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // tagDataBase is the tag space for two-phase data-exchange messages.
@@ -41,6 +42,15 @@ func (f *File) WriteStridedColl(segs []extent.Extent, data []byte) error {
 		return fmt.Errorf("adio: payload length %d != segment total %d", len(data), total)
 	}
 	f.Stats.CollWrites++
+
+	tr := r.World().Kernel().Tracer()
+	ttk := r.TraceTrack(tr)
+	if tr != nil {
+		csp := tr.Begin(ttk, "adio", "coll_write", int64(r.Now()))
+		defer func() {
+			csp.End(int64(r.Now()), trace.I("segs", int64(len(segs))), trace.I("bytes", total))
+		}()
+	}
 
 	// Step 1: exchange access-pattern information (start and end offsets).
 	span := mpe.StartSpan(r.Now())
@@ -111,12 +121,15 @@ func (f *File) WriteStridedColl(segs []extent.Extent, data []byte) error {
 		if buf := min64(cb, myFD.Len); buf > f.Stats.PeakBufBytes {
 			f.Stats.PeakBufBytes = buf
 		}
+		tr.Instant(ttk, "adio", "file_domain", int64(r.Now()),
+			trace.I("off", myFD.Off), trace.I("len", myFD.Len))
 	}
 
 	// Step 4: the extended two-phase loop.
 	var firstErr error
 	for m := 0; m < ntimes; m++ {
 		tag := tagDataBase + (m & 0xffff)
+		rsp := tr.Begin(ttk, "adio", "round", int64(r.Now()))
 
 		// What do I send to each aggregator this round?
 		sendExts := make([][]extent.Extent, naggs)
@@ -182,6 +195,7 @@ func (f *File) WriteStridedColl(segs []extent.Extent, data []byte) error {
 				f.Stats.CollRounds++
 			}
 		}
+		rsp.End(int64(r.Now()), trace.I("round", int64(m)), trace.I("ntimes", int64(ntimes)))
 	}
 
 	// Step 5: synchronise and exchange error codes.

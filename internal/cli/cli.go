@@ -17,34 +17,36 @@ import (
 
 // Flags holds the common benchmark options.
 type Flags struct {
-	Aggs    *int
-	CBMB    *int
-	Case    *string
-	Files   *int
-	Compute *float64
-	Nodes   *int
-	PPN     *int
-	Seed    *int64
-	LastNHS *bool
-	Trace   *string
-	Stats   *bool
-	Faults  *string
+	Aggs     *int
+	CBMB     *int
+	Case     *string
+	Files    *int
+	Compute  *float64
+	Nodes    *int
+	PPN      *int
+	Seed     *int64
+	LastNHS  *bool
+	Trace    *string
+	TraceSum *bool
+	Stats    *bool
+	Faults   *string
 }
 
 // Register installs the common flags on fs with the paper's defaults.
 func Register(fs *flag.FlagSet, includeLastSync bool) *Flags {
 	return &Flags{
-		Aggs:    fs.Int("aggs", 64, "number of aggregators (cb_nodes)"),
-		CBMB:    fs.Int("cb", 16, "collective buffer size in MB (cb_buffer_size)"),
-		Case:    fs.String("case", "enabled", "data path: disabled | enabled | theoretical | burstbuffer"),
-		Files:   fs.Int("files", 4, "number of files written"),
-		Compute: fs.Float64("compute", 30, "compute delay between files in seconds"),
-		Nodes:   fs.Int("nodes", 64, "compute nodes"),
-		PPN:     fs.Int("ppn", 8, "ranks per node"),
-		Seed:    fs.Int64("seed", 20160901, "simulation seed"),
-		LastNHS: fs.Bool("last-sync", includeLastSync, "account the last write's non-hidden sync (IOR style)"),
-		Trace:   fs.String("trace", "", "write a Chrome trace-event JSON of all rank timelines to this file"),
-		Stats:   fs.Bool("stats", false, "print the cluster resource report after the run"),
+		Aggs:     fs.Int("aggs", 64, "number of aggregators (cb_nodes)"),
+		CBMB:     fs.Int("cb", 16, "collective buffer size in MB (cb_buffer_size)"),
+		Case:     fs.String("case", "enabled", "data path: disabled | enabled | theoretical | burstbuffer"),
+		Files:    fs.Int("files", 4, "number of files written"),
+		Compute:  fs.Float64("compute", 30, "compute delay between files in seconds"),
+		Nodes:    fs.Int("nodes", 64, "compute nodes"),
+		PPN:      fs.Int("ppn", 8, "ranks per node"),
+		Seed:     fs.Int64("seed", 20160901, "simulation seed"),
+		LastNHS:  fs.Bool("last-sync", includeLastSync, "account the last write's non-hidden sync (IOR style)"),
+		Trace:    fs.String("trace", "", "write a Chrome/Perfetto trace (spans, counters, instants from every layer) to this file"),
+		TraceSum: fs.Bool("trace-summary", false, "print the trace digest (top spans, counter high-water marks); implies event tracing"),
+		Stats:    fs.Bool("stats", false, "print the cluster resource report after the run"),
 		Faults: fs.String("faults", "", "fault schedule, e.g. "+
 			"'degrade-target,target=1,factor=0.2,from=2s,to=8s;fail-device,node=0,at=5s'"),
 	}
@@ -70,22 +72,22 @@ func (f *Flags) Spec(w workloads.Workload) (harness.Spec, error) {
 	spec.NFiles = *f.Files
 	spec.ComputeDelay = sim.FromSeconds(*f.Compute)
 	spec.IncludeLastSync = *f.LastNHS
-	spec.Trace = *f.Trace != ""
+	spec.TracePath = *f.Trace
+	spec.TraceEvents = *f.TraceSum
 	spec.FaultSpec = *f.Faults
 	return spec, nil
 }
 
-// WriteTrace exports the result's rank timelines when -trace was given.
-func (f *Flags) WriteTrace(res *harness.Result) error {
-	if *f.Trace == "" {
-		return nil
+// ReportTrace announces the written trace file and prints the trace digest
+// when requested; the harness itself exports the file (Spec.TracePath).
+func (f *Flags) ReportTrace(out io.Writer, res *harness.Result) {
+	if *f.Trace != "" && res.Trace != nil {
+		fmt.Fprintf(out, "trace: wrote %s (%d events on %d tracks); open with https://ui.perfetto.dev\n",
+			*f.Trace, res.Trace.Len(), res.Trace.Tracks())
 	}
-	out, err := os.Create(*f.Trace)
-	if err != nil {
-		return err
+	if *f.TraceSum {
+		fmt.Fprint(out, res.TraceSummary)
 	}
-	defer out.Close()
-	return mpe.WriteChromeTrace(out, res.Logs)
 }
 
 // Report prints a Result in the style of the paper's per-cell numbers.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // ErrCrashed is returned by cache operations on a crashed node; the cache
@@ -103,6 +104,7 @@ type syncReq struct {
 	ext  extent.Extent
 	greq *mpi.Request
 	lock *pfs.Lock
+	aid  uint64 // trace async-span id, 0 when tracing is off
 }
 
 // Cache is the per-rank cache state attached to an open ADIO file. It
@@ -145,6 +147,16 @@ func newCache(env *Env, f *adio.File, opts Options) (*Cache, error) {
 	return c, nil
 }
 
+// tracer returns the run's tracer (nil when tracing is disabled) and this
+// rank's timeline.
+func (c *Cache) tracer() (*trace.Tracer, trace.TrackID) {
+	tr := c.f.Rank().World().Kernel().Tracer()
+	if tr == nil {
+		return nil, trace.NoTrack
+	}
+	return tr, c.f.Rank().TraceTrack(tr)
+}
+
 // journalKey identifies this cache file in the Env's journal registry.
 func (c *Cache) journalKey() string {
 	return fmt.Sprintf("n%d:%s", c.f.Rank().Node().ID(), c.name)
@@ -161,11 +173,16 @@ func (c *Cache) AtOpenColl(f *adio.File) error {
 	c.cfile = cf
 	c.dirty = c.env.journal(c.journalKey())
 	if c.opts.Recover && c.dirty.Len() > 0 {
+		tr, tk := c.tracer()
+		tr.Instant(tk, "cache", "journal_replay", int64(f.Rank().Now()),
+			trace.I("extents", int64(c.dirty.Len())), trace.I("bytes", c.dirty.TotalBytes()))
+		rsp := tr.Begin(tk, "cache", "recovery", int64(f.Rank().Now()))
 		if err := c.recover(f); err != nil {
 			// The cache file and journal stay behind for a later attempt;
 			// this open reverts to the standard path.
 			return fmt.Errorf("core: cache recovery: %w", err)
 		}
+		rsp.End(int64(f.Rank().Now()), trace.I("bytes", c.Stats.RecoveredBytes))
 	}
 	if !c.env.SkipSync {
 		c.syncer = startSyncThread(c)
@@ -222,6 +239,18 @@ func (c *Cache) noteCacheError(err error) {
 	if errors.Is(err, nvm.ErrIO) {
 		c.degraded = true
 		c.Stats.CacheDegraded = true
+		if tr, tk := c.tracer(); tr != nil {
+			tr.Instant(tk, "cache", "cache_degraded", int64(c.f.Rank().Now()))
+		}
+	}
+}
+
+// noteWriteThrough accounts a write that bypassed the cache.
+func (c *Cache) noteWriteThrough(off, size int64) {
+	c.Stats.WriteThroughs++
+	if tr, tk := c.tracer(); tr != nil {
+		tr.Instant(tk, "cache", "write_through", int64(c.f.Rank().Now()),
+			trace.I("off", off), trace.I("bytes", size))
 	}
 }
 
@@ -235,7 +264,7 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 		return false, ErrCrashed
 	}
 	if c.degraded || c.cfile == nil {
-		c.Stats.WriteThroughs++
+		c.noteWriteThrough(off, size)
 		return false, nil
 	}
 	r := f.Rank()
@@ -255,7 +284,7 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 			c.env.Locks.Unlock(lock)
 		}
 		c.noteCacheError(err)
-		c.Stats.WriteThroughs++
+		c.noteWriteThrough(off, size)
 		return false, nil
 	}
 	if err := c.cfile.WriteAt(p, data, off, size); err != nil {
@@ -263,12 +292,15 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 			c.env.Locks.Unlock(lock)
 		}
 		c.noteCacheError(err)
-		c.Stats.WriteThroughs++
+		c.noteWriteThrough(off, size)
 		return false, nil
 	}
 	c.Stats.CacheWrites++
 	c.Stats.CacheBytes += size
 	c.dirty.Add(e)
+	tr, tk := c.tracer()
+	tr.Instant(tk, "cache", "cache_write", int64(r.Now()),
+		trace.I("off", off), trace.I("bytes", size))
 
 	if c.env.SkipSync {
 		if lock != nil {
@@ -277,6 +309,11 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 		return true, nil
 	}
 	req := &syncReq{ext: e, greq: r.World().NewGrequest(), lock: lock}
+	// The request's lifetime — creation here to Grequest completion on the
+	// sync thread — is the window in which sync can hide behind compute;
+	// trace it as an async span.
+	req.aid = tr.AsyncBegin(tk, "cache", "sync_req", int64(r.Now()),
+		trace.I("off", off), trace.I("len", size))
 	c.Stats.SyncRequests++
 	c.outstanding = append(c.outstanding, req)
 	if c.opts.FlushFlag == FlushOnClose {
@@ -345,6 +382,11 @@ func (c *Cache) AtFlush(f *adio.File) error {
 		c.Stats.FlushWaits++
 		c.Stats.FlushWaitTime += wait
 		f.Log().Add(mpe.PhaseNotHiddenSync, wait)
+		// This wait IS Equation 1's not_hidden_sync term; give it its own
+		// span so a trace shows exactly which flush stalled and for how long.
+		if tr, tk := c.tracer(); tr != nil {
+			tr.SpanAt(tk, "cache", "not_hidden_sync", int64(start), int64(r.Now()))
+		}
 	}
 	return errors.Join(errs...)
 }
@@ -424,24 +466,33 @@ func (c *Cache) Outstanding() int {
 // then calls MPI_Grequest_complete on the request handle.
 type syncThread struct {
 	c       *Cache
+	k       *sim.Kernel
 	queue   []*syncReq
 	cond    *sim.Cond
 	stopped bool
 	crashed bool
 	proc    *sim.Proc
+	tk      trace.TrackID
 }
 
 func startSyncThread(c *Cache) *syncThread {
 	k := c.f.Rank().Proc().Kernel()
-	st := &syncThread{c: c, cond: sim.NewCond(k)}
+	st := &syncThread{c: c, k: k, cond: sim.NewCond(k), tk: trace.NoTrack}
 	name := fmt.Sprintf("sync.%s.r%d", c.f.Path(), c.f.Rank().ID())
 	st.proc = k.Spawn(name, st.run)
+	if tr := k.Tracer(); tr != nil {
+		st.tk = tr.Track(trace.GroupSync, name)
+		st.proc.SetTraceTrack(st.tk)
+	}
 	return st
 }
 
 // submit enqueues a request for background synchronisation.
 func (st *syncThread) submit(req *syncReq) {
 	st.queue = append(st.queue, req)
+	if tr := st.k.Tracer(); tr != nil {
+		tr.Counter(st.tk, "sync_queue", int64(st.k.Now()), int64(len(st.queue)))
+	}
 	st.cond.Signal()
 }
 
@@ -482,7 +533,13 @@ func (st *syncThread) run(p *sim.Proc) {
 		}
 		req := st.queue[0]
 		st.queue = st.queue[1:]
+		tr := st.k.Tracer()
+		if tr != nil {
+			tr.Counter(st.tk, "sync_queue", int64(p.Now()), int64(len(st.queue)))
+		}
+		esp := tr.Begin(st.tk, "cache", "sync_extent", int64(p.Now()))
 		err := st.syncExtent(p, req, bufSize)
+		esp.End(int64(p.Now()), trace.I("off", req.ext.Off), trace.I("len", req.ext.Len))
 		if st.crashed {
 			// The node died mid-extent: abandon the request (nobody is
 			// left to observe it) but don't leak its lock.
@@ -496,8 +553,15 @@ func (st *syncThread) run(p *sim.Proc) {
 		if req.lock != nil {
 			c.env.Locks.Unlock(req.lock)
 		}
+		if tr != nil {
+			tr.AsyncEnd(st.tk, "cache", "sync_req", req.aid, int64(p.Now()))
+		}
 		if err != nil {
 			c.Stats.SyncFailures++
+			if tr != nil {
+				tr.Instant(st.tk, "cache", "sync_failed", int64(p.Now()),
+					trace.I("off", req.ext.Off), trace.I("len", req.ext.Len))
+			}
 			req.greq.CompleteWithError(fmt.Errorf("core: sync [%d,+%d): %w", req.ext.Off, req.ext.Len, err))
 			continue
 		}
@@ -521,11 +585,18 @@ func (st *syncThread) syncExtent(p *sim.Proc, req *syncReq, bufSize int64) error
 		}
 		n := min64(bufSize, req.ext.End()-off)
 		start := p.Now()
+		tr := st.k.Tracer()
+		csp := tr.Begin(st.tk, "cache", "sync_chunk", int64(start))
 		if err := st.syncChunk(p, off, n); err != nil {
+			csp.End(int64(p.Now()), trace.I("off", off), trace.I("len", n))
 			return err
 		}
+		csp.End(int64(p.Now()), trace.I("off", off), trace.I("len", n))
 		c.Stats.SyncedBytes += n
 		c.dirty.Remove(extent.Extent{Off: off, Len: n})
+		if tr != nil {
+			tr.Counter(st.tk, "dirty_bytes", int64(p.Now()), c.dirty.TotalBytes())
+		}
 		if !adaptive {
 			continue
 		}
@@ -539,6 +610,10 @@ func (st *syncThread) syncExtent(p *sim.Proc, req *syncReq, bufSize int64) error
 		}
 		if took > 2*baseline {
 			c.Stats.Backoffs++
+			if tr != nil {
+				tr.Instant(st.tk, "cache", "adaptive_backoff", int64(p.Now()),
+					trace.I("excess_ns", int64(took-baseline)))
+			}
 			p.Sleep(took - baseline)
 		}
 	}
@@ -572,6 +647,10 @@ func (st *syncThread) syncChunk(p *sim.Proc, off, n int64) error {
 			return fmt.Errorf("%w (after %d attempts)", err, attempt+1)
 		}
 		c.Stats.SyncRetries++
+		if tr := st.k.Tracer(); tr != nil {
+			tr.Instant(st.tk, "cache", "sync_retry", int64(p.Now()),
+				trace.I("attempt", int64(attempt+1)), trace.I("backoff_ns", int64(backoff)))
+		}
 		p.Sleep(backoff)
 		backoff *= 2
 	}

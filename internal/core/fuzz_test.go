@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// FuzzParseOptions drives the Table II e10_* hint parser. ParseOptions must
+// never panic, and any accepted hint set must be normalized: a known cache
+// mode and flush flag, a non-empty cache path and sane retry parameters.
+func FuzzParseOptions(f *testing.F) {
+	f.Add(HintCache, CacheEnable, HintFlushFlag, FlushImmediate)
+	f.Add(HintCache, "coherent", HintCachePath, "/scratch")
+	f.Add(HintDiscardFlag, "disable", HintCacheRecovery, "enable")
+	f.Add(HintSyncRetryLimit, "7", HintSyncRetryBackoff, "25ms")
+	f.Add(HintCache, "please", HintFlushFlag, "whenever")
+	f.Add(HintCachePath, "", HintSyncRetryLimit, "-3")
+	f.Add(HintSyncRetryBackoff, "-1s", HintCacheRead, "enable")
+	f.Add("", "", "", "")
+	f.Fuzz(func(t *testing.T, k1, v1, k2, v2 string) {
+		info := mpi.Info{}
+		if k1 != "" {
+			info[k1] = v1
+		}
+		if k2 != "" {
+			info[k2] = v2
+		}
+		o, err := ParseOptions(info)
+		if err != nil {
+			return
+		}
+		switch o.Mode {
+		case CacheEnable, CacheDisable, CacheCoherent:
+		default:
+			t.Fatalf("ParseOptions(%v): invalid mode %q", info, o.Mode)
+		}
+		switch o.FlushFlag {
+		case FlushImmediate, FlushOnClose, FlushAdaptive:
+		default:
+			t.Fatalf("ParseOptions(%v): invalid flush flag %q", info, o.FlushFlag)
+		}
+		if o.Path == "" {
+			t.Fatalf("ParseOptions(%v): empty cache path accepted", info)
+		}
+		if o.RetryLimit < 0 {
+			t.Fatalf("ParseOptions(%v): negative retry limit %d", info, o.RetryLimit)
+		}
+		if o.RetryBackoff < 0 {
+			t.Fatalf("ParseOptions(%v): negative retry backoff %v", info, o.RetryBackoff)
+		}
+		if o.Enabled() == (o.Mode == CacheDisable) {
+			t.Fatalf("ParseOptions(%v): Enabled()=%v inconsistent with mode %q", info, o.Enabled(), o.Mode)
+		}
+		o2, err := ParseOptions(info)
+		if err != nil || o2 != o {
+			t.Fatalf("ParseOptions(%v) not deterministic: %+v vs %+v (err %v)", info, o, o2, err)
+		}
+	})
+}

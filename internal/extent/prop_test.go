@@ -1,0 +1,259 @@
+package extent
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests: a Set driven by a seeded random op sequence must agree with
+// a brute-force byte-bitmap model and keep its internal invariants after
+// every operation. The space is kept small ([0,worldSize) offsets) so the
+// bitmap oracle is cheap and collisions between ops are frequent.
+
+const (
+	worldSize = 256            // offsets are drawn from [0, worldSize)
+	modelSize = worldSize + 64 // generated extents may run past worldSize
+)
+
+// model is the reference implementation: one bool per byte.
+type model [modelSize]bool
+
+func (m *model) add(e Extent) {
+	for o := e.Off; o < e.End() && o < modelSize; o++ {
+		if o >= 0 {
+			m[o] = true
+		}
+	}
+}
+
+func (m *model) remove(e Extent) {
+	for o := e.Off; o < e.End() && o < modelSize; o++ {
+		if o >= 0 {
+			m[o] = false
+		}
+	}
+}
+
+func (m *model) total() int64 {
+	var n int64
+	for _, b := range m {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *model) covers(e Extent) bool {
+	for o := e.Off; o < e.End(); o++ {
+		if o < 0 || o >= modelSize || !m[o] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *model) overlaps(e Extent) bool {
+	for o := e.Off; o < e.End(); o++ {
+		if o >= 0 && o < modelSize && m[o] {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *model) gaps(e Extent) []Extent {
+	var out []Extent
+	var cur *Extent
+	for o := e.Off; o < e.End(); o++ {
+		covered := o >= 0 && o < modelSize && m[o]
+		if !covered {
+			if cur != nil && cur.End() == o {
+				cur.Len++
+			} else {
+				out = append(out, Extent{Off: o, Len: 1})
+				cur = &out[len(out)-1]
+			}
+		} else {
+			cur = nil
+		}
+	}
+	return out
+}
+
+func randExtent(rng *rand.Rand) Extent {
+	return Extent{Off: rng.Int63n(worldSize - 1), Len: 1 + rng.Int63n(48)}
+}
+
+func checkAgainstModel(t *testing.T, step int, s *Set, m *model) {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("step %d: invariant violated: %v", step, err)
+	}
+	if got, want := s.TotalBytes(), m.total(); got != want {
+		t.Fatalf("step %d: TotalBytes = %d, model says %d", step, got, want)
+	}
+	// Spot-check coverage queries on a few random probes per step.
+	probe := Extent{Off: int64(step*7) % worldSize, Len: 1 + int64(step)%17}
+	if got, want := s.Covers(probe), m.covers(probe); got != want {
+		t.Fatalf("step %d: Covers(%v) = %v, model says %v", step, probe, got, want)
+	}
+	if got, want := s.Overlaps(probe), m.overlaps(probe); got != want {
+		t.Fatalf("step %d: Overlaps(%v) = %v, model says %v", step, probe, got, want)
+	}
+	gGot, gWant := s.Gaps(probe), m.gaps(probe)
+	if len(gGot) != len(gWant) {
+		t.Fatalf("step %d: Gaps(%v) = %v, model says %v", step, probe, gGot, gWant)
+	}
+	for i := range gGot {
+		if gGot[i] != gWant[i] {
+			t.Fatalf("step %d: Gaps(%v)[%d] = %v, model says %v", step, probe, i, gGot[i], gWant[i])
+		}
+	}
+}
+
+func TestSetAgainstBitmapModel(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 20160901} {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		var m model
+		for step := 0; step < 2000; step++ {
+			e := randExtent(rng)
+			if rng.Intn(3) == 0 {
+				s.Remove(e)
+				m.remove(e)
+			} else {
+				s.Add(e)
+				m.add(e)
+			}
+			checkAgainstModel(t, step, &s, &m)
+		}
+	}
+}
+
+// TestAddIdempotent: adding an extent the set already covers changes nothing.
+func TestAddIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s Set
+	for i := 0; i < 200; i++ {
+		s.Add(randExtent(rng))
+	}
+	before := s.Extents()
+	for _, e := range before {
+		s.Add(e)
+	}
+	// Re-adding random sub-extents of covered ranges is also a no-op.
+	for _, e := range before {
+		if e.Len > 1 {
+			s.Add(Extent{Off: e.Off + 1, Len: e.Len - 1})
+		}
+	}
+	after := s.Extents()
+	if len(before) != len(after) {
+		t.Fatalf("idempotent re-add changed the set: %v -> %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("idempotent re-add changed extent %d: %v -> %v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestAddOrderInvariance: the set is a function of the covered byte set, not
+// of insertion order.
+func TestAddOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	exts := make([]Extent, 64)
+	for i := range exts {
+		exts[i] = randExtent(rng)
+	}
+	var fwd, rev, shuf Set
+	for _, e := range exts {
+		fwd.Add(e)
+	}
+	for i := len(exts) - 1; i >= 0; i-- {
+		rev.Add(exts[i])
+	}
+	perm := rng.Perm(len(exts))
+	for _, i := range perm {
+		shuf.Add(exts[i])
+	}
+	a, b, c := fwd.Extents(), rev.Extents(), shuf.Extents()
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatalf("order-dependent result: %v / %v / %v", a, b, c)
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("order-dependent extent %d: %v / %v / %v", i, a[i], b[i], c[i])
+		}
+	}
+}
+
+// TestRemoveAddRoundTrip: removing a covered range and re-adding it restores
+// the set (conservation under the remove/add metamorphosis).
+func TestRemoveAddRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		var s Set
+		for i := 0; i < 50; i++ {
+			s.Add(randExtent(rng))
+		}
+		before := s.Extents()
+		total := s.TotalBytes()
+		cut := randExtent(rng)
+		if !s.Covers(cut) {
+			continue
+		}
+		s.Remove(cut)
+		if got := s.TotalBytes(); got != total-cut.Len {
+			t.Fatalf("trial %d: removing covered %v dropped %d bytes, want %d",
+				trial, cut, total-got, cut.Len)
+		}
+		s.Add(cut)
+		after := s.Extents()
+		if len(before) != len(after) {
+			t.Fatalf("trial %d: remove/add round trip changed the set: %v -> %v", trial, before, after)
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("trial %d: round trip changed extent %d: %v -> %v", trial, i, before[i], after[i])
+			}
+		}
+	}
+}
+
+// TestExtentAlgebra: Intersect and Union laws on random pairs.
+func TestExtentAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 5000; i++ {
+		a, b := randExtent(rng), randExtent(rng)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab.Empty() != ba.Empty() || (!ab.Empty() && ab != ba) {
+			t.Fatalf("Intersect not commutative: %v ∩ %v = %v vs %v", a, b, ab, ba)
+		}
+		if ab.Empty() == a.Overlaps(b) {
+			t.Fatalf("Overlaps(%v, %v) = %v but Intersect = %v", a, b, a.Overlaps(b), ab)
+		}
+		if !ab.Empty() {
+			if !a.Covers(ab) || !b.Covers(ab) {
+				t.Fatalf("intersection %v not covered by both %v and %v", ab, a, b)
+			}
+			u := a.Union(b)
+			if u != b.Union(a) {
+				t.Fatalf("Union not commutative for %v, %v", a, b)
+			}
+			if !u.Covers(a) || !u.Covers(b) {
+				t.Fatalf("union %v does not cover %v and %v", u, a, b)
+			}
+			// |A ∪ B| = |A| + |B| - |A ∩ B| holds when the union is exact
+			// (overlapping extents, no gap to bridge).
+			if u.Len != a.Len+b.Len-ab.Len {
+				t.Fatalf("inclusion-exclusion violated: |%v ∪ %v| = %d, want %d",
+					a, b, u.Len, a.Len+b.Len-ab.Len)
+			}
+		}
+		if a.Covers(b) && (!a.Overlaps(b) && !b.Empty()) {
+			t.Fatalf("%v covers %v but does not overlap it", a, b)
+		}
+	}
+}

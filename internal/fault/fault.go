@@ -23,6 +23,7 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/pfs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Kind names one fault class.
@@ -272,16 +273,37 @@ func Arm(k *sim.Kernel, s *Schedule, tg Targets) (*Injector, error) {
 			apply(f, tg, true)
 			inj.stats[i].Applied = true
 			inj.stats[i].AppliedAt = k.Now()
+			traceFault(k, f, true)
 		})
 		if f.To > 0 {
 			k.After(f.To, func() {
 				apply(f, tg, false)
 				inj.stats[i].Cleared = true
 				inj.stats[i].ClearedAt = k.Now()
+				traceFault(k, f, false)
 			})
 		}
 	}
 	return inj, nil
+}
+
+// traceFault records a fault's apply/clear transitions on the shared
+// "faults" trace timeline (no-op without an attached tracer).
+func traceFault(k *sim.Kernel, f Fault, on bool) {
+	tr := k.Tracer()
+	if tr == nil {
+		return
+	}
+	name := string(f.Kind)
+	if !on {
+		name += ".clear"
+	}
+	loc := int64(f.Node)
+	if f.Kind == FailTarget || f.Kind == DegradeTarget {
+		loc = int64(f.Target)
+	}
+	tr.Instant(tr.Track(trace.GroupFaults, "faults"), "fault", name, int64(k.Now()),
+		trace.I("loc", loc))
 }
 
 // validate checks that tg can host f, failing at arm time rather than

@@ -67,18 +67,18 @@ func TestParseAllKinds(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
-		"",                                     // empty schedule
-		"melt-cpu,node=0,at=1s",                // unknown kind
-		"fail-device,node0,at=1s",              // malformed field
-		"fail-device,node=-1,at=1s",            // bad node
-		"fail-target,target=x,at=1s",           // bad target
-		"degrade-target,target=0,factor=0,at=1s",  // factor out of range
+		"",                                         // empty schedule
+		"melt-cpu,node=0,at=1s",                    // unknown kind
+		"fail-device,node0,at=1s",                  // malformed field
+		"fail-device,node=-1,at=1s",                // bad node
+		"fail-target,target=x,at=1s",               // bad target
+		"degrade-target,target=0,factor=0,at=1s",   // factor out of range
 		"degrade-target,target=0,factor=1.5,at=1s", // factor out of range
-		"degrade-target,target=0,at=1s",        // degrade without factor
-		"fail-device,node=0,at=1s,to=2s",       // at mixed with to
-		"fail-device,node=0,from=2s,to=1s",     // to <= from
-		"fail-device,node=0,at=zzz",            // bad duration
-		"fail-device,node=0,huh=1",             // unknown field
+		"degrade-target,target=0,at=1s",            // degrade without factor
+		"fail-device,node=0,at=1s,to=2s",           // at mixed with to
+		"fail-device,node=0,from=2s,to=1s",         // to <= from
+		"fail-device,node=0,at=zzz",                // bad duration
+		"fail-device,node=0,huh=1",                 // unknown field
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) must fail", spec)
@@ -167,10 +167,10 @@ func TestArmValidatesEagerly(t *testing.T) {
 	k := sim.NewKernel(1)
 	tg := testTargets(k)
 	for _, s := range []*Schedule{
-		(&Schedule{}).At(0).FailDevice(7).s,             // node without device
-		(&Schedule{}).At(0).FailTarget(99).s,            // target out of range
-		(&Schedule{}).At(0).DegradeLink(99, 0.5).s,      // node out of range
-		(&Schedule{}).At(0).DegradeTarget(0, 0).s,       // bad factor
+		(&Schedule{}).At(0).FailDevice(7).s,        // node without device
+		(&Schedule{}).At(0).FailTarget(99).s,       // target out of range
+		(&Schedule{}).At(0).DegradeLink(99, 0.5).s, // node out of range
+		(&Schedule{}).At(0).DegradeTarget(0, 0).s,  // bad factor
 	} {
 		if _, err := Arm(k, s, tg); err == nil {
 			t.Errorf("Arm(%v) must fail", s.Faults())

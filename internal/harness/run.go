@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 
 	"repro/internal/adio"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -54,6 +56,15 @@ type Spec struct {
 	SyncBuffer      int64  // ind_wr_buffer_size (paper: 512 KB)
 	FlushFlag       string // e10_cache_flush_flag (default flush_immediate)
 	Trace           bool   // record per-rank phase timelines (Result.Logs)
+	// TraceEvents enables the event tracer (internal/trace): spans, instants
+	// and counters across every simulated layer, exposed as Result.Trace.
+	// Tracing records events only — it never perturbs virtual time, so every
+	// measured number is identical with it on or off.
+	TraceEvents bool
+	// TracePath additionally writes the recorded events as Chrome
+	// trace-event JSON (Perfetto-loadable) to this file after the run.
+	// Setting it implies TraceEvents.
+	TracePath string
 	// ExtraHints are merged into the MPI_Info last (e.g. cb_config_list
 	// for placement experiments, e10_cache_read, ...).
 	ExtraHints map[string]string
@@ -105,6 +116,12 @@ type Result struct {
 	// Logs holds the per-rank MPE logs (with timelines when Spec.Trace is
 	// set), for trace export via mpe.WriteChromeTrace.
 	Logs []*mpe.Log
+	// Trace is the event tracer with all recorded events, non-nil only when
+	// Spec.TraceEvents or Spec.TracePath was set.
+	Trace *trace.Tracer
+	// TraceSummary is the plain-text trace digest (top spans, counter
+	// high-water marks), empty when tracing was off.
+	TraceSummary string
 	// Report is the post-run cluster resource summary (ClusterReport).
 	Report string
 	// FaultReport is the armed fault schedule's lifecycle rendering, empty
@@ -157,6 +174,11 @@ func Run(spec Spec) (*Result, error) {
 		spec.Cluster.BurstBuffer = &bb
 	}
 	cl := NewCluster(spec.Cluster)
+	var tr *trace.Tracer
+	if spec.TraceEvents || spec.TracePath != "" {
+		tr = trace.New()
+		cl.Kernel.SetTracer(tr)
+	}
 	switch {
 	case spec.Case == CacheTheoretical:
 		cl.CoreEnv.SkipSync = true
@@ -184,6 +206,10 @@ func Run(spec Spec) (*Result, error) {
 		logs[i] = mpe.NewLog()
 		if spec.Trace {
 			logs[i].EnableTimeline()
+		}
+		if tr != nil {
+			// Registers the rank tracks 0..n-1 up front, in ascending order.
+			logs[i].BindTracer(tr, w.Rank(i).TraceTrack(tr))
 		}
 	}
 	writeTimes := make([]sim.Time, spec.NFiles) // identical across ranks (barrier-fenced)
@@ -261,6 +287,15 @@ func Run(spec Spec) (*Result, error) {
 	if injector != nil {
 		res.FaultReport = injector.Report()
 	}
+	if tr != nil {
+		res.Trace = tr
+		res.TraceSummary = tr.Summary()
+		if spec.TracePath != "" {
+			if werr := writeTraceFile(tr, spec.TracePath); werr != nil {
+				return nil, werr
+			}
+		}
+	}
 	var denom sim.Time
 	for k := 0; k < spec.NFiles; k++ {
 		var wait sim.Time
@@ -292,4 +327,17 @@ func Run(spec Spec) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// writeTraceFile exports the tracer as Chrome trace-event JSON at path.
+func writeTraceFile(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("harness: trace export: %w", err)
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("harness: trace export: %w", err)
+	}
+	return f.Close()
 }

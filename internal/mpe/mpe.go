@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Phase names one instrumented component of the collective write path.
@@ -43,6 +44,8 @@ type Log struct {
 	counts    map[Phase]int64
 	timeline  bool
 	intervals []Interval
+	tracer    *trace.Tracer
+	track     trace.TrackID
 }
 
 // NewLog creates an empty log.
@@ -99,6 +102,18 @@ func (l *Log) Reset() {
 	l.intervals = nil
 }
 
+// BindTracer mirrors every phase interval recorded through Span.End onto
+// the given tracer track as a "phase"-category span, so MPE's existing
+// instrumentation of the collective write path flows into exported traces
+// without touching the call sites.
+func (l *Log) BindTracer(tr *trace.Tracer, tk trace.TrackID) {
+	if l == nil {
+		return
+	}
+	l.tracer = tr
+	l.track = tk
+}
+
 // Span measures one interval: s := StartSpan(now) ... s.End(log, ph, now).
 type Span struct{ start sim.Time }
 
@@ -108,8 +123,14 @@ func StartSpan(now sim.Time) Span { return Span{start: now} }
 // End records the interval [start, now) into l under ph.
 func (s Span) End(l *Log, ph Phase, now sim.Time) {
 	l.Add(ph, now-s.start)
-	if l != nil && l.timeline && now > s.start {
+	if l == nil {
+		return
+	}
+	if l.timeline && now > s.start {
 		l.intervals = append(l.intervals, Interval{Phase: ph, Start: s.start, End: now})
+	}
+	if l.tracer != nil && now > s.start {
+		l.tracer.SpanAt(l.track, "phase", string(ph), int64(s.start), int64(now))
 	}
 }
 

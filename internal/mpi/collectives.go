@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // CollModel selects how collectives are executed.
@@ -158,6 +159,16 @@ func (c *Comm) collCost(kind string, n int64) sim.Time {
 	}
 }
 
+// beginColl opens a tracer span on r's timeline covering one collective
+// call (both execution models route through the public wrappers).
+func (c *Comm) beginColl(r *Rank, name string) trace.Span {
+	tr := c.w.k.Tracer()
+	if tr == nil {
+		return trace.Span{}
+	}
+	return tr.Begin(r.TraceTrack(tr), "mpi", name, int64(r.proc.Now()))
+}
+
 // Op is a reduction operator over int64.
 type Op func(a, b int64) int64
 
@@ -181,16 +192,20 @@ var (
 
 // Barrier blocks until every rank of the communicator has entered.
 func (c *Comm) Barrier(r *Rank) {
+	sp := c.beginColl(r, "barrier")
 	if c.model == MessagePassing {
 		c.msgBarrier(r)
-		return
+	} else {
+		c.sync(r, "barrier", 0, nil)
 	}
-	c.sync(r, "barrier", 0, nil)
+	sp.End(int64(r.proc.Now()))
 }
 
 // Allreduce combines each rank's vals element-wise with op; every rank
 // receives the combined vector (MPI_Allreduce).
 func (c *Comm) Allreduce(r *Rank, vals []int64, op Op) []int64 {
+	sp := c.beginColl(r, "allreduce")
+	defer func() { sp.End(int64(r.proc.Now())) }()
 	if c.model == MessagePassing {
 		return c.msgAllreduce(r, vals, op)
 	}
@@ -208,6 +223,8 @@ func (c *Comm) Allreduce(r *Rank, vals []int64, op Op) []int64 {
 // Allgather collects each rank's vals; result[i] is rank i's contribution
 // (MPI_Allgather / MPI_Allgatherv).
 func (c *Comm) Allgather(r *Rank, vals []int64) [][]int64 {
+	sp := c.beginColl(r, "allgather")
+	defer func() { sp.End(int64(r.proc.Now())) }()
 	if c.model == MessagePassing {
 		return c.msgAllgather(r, vals)
 	}
@@ -224,6 +241,8 @@ func (c *Comm) Alltoall(r *Rank, send []int64) []int64 {
 	if len(send) != len(c.ranks) {
 		panic("mpi: alltoall send vector must have comm-size entries")
 	}
+	sp := c.beginColl(r, "alltoall")
+	defer func() { sp.End(int64(r.proc.Now())) }()
 	if c.model == MessagePassing {
 		return c.msgAlltoall(r, send)
 	}
@@ -238,6 +257,8 @@ func (c *Comm) Alltoall(r *Rank, send []int64) []int64 {
 
 // Bcast distributes root's vals to every rank (MPI_Bcast).
 func (c *Comm) Bcast(r *Rank, root int, vals []int64) []int64 {
+	sp := c.beginColl(r, "bcast")
+	defer func() { sp.End(int64(r.proc.Now())) }()
 	if c.model == MessagePassing {
 		return c.msgBcast(r, root, vals)
 	}

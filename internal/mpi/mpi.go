@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Wildcards for Recv matching.
@@ -85,6 +86,9 @@ func (w *World) Run(body func(r *Rank)) error {
 		r := r
 		w.k.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			r.proc = p
+			if tr := w.k.Tracer(); tr != nil {
+				p.SetTraceTrack(r.TraceTrack(tr))
+			}
 			body(r)
 		})
 	}
@@ -93,11 +97,25 @@ func (w *World) Run(body func(r *Rank)) error {
 
 // Rank is one MPI process.
 type Rank struct {
-	w    *World
-	id   int
-	node *netsim.Node
-	proc *sim.Proc
-	mbox mailbox
+	w     *World
+	id    int
+	node  *netsim.Node
+	proc  *sim.Proc
+	mbox  mailbox
+	ttk   trace.TrackID
+	ttReg bool
+}
+
+// TraceTrack lazily registers and returns this rank's trace timeline.
+func (r *Rank) TraceTrack(tr *trace.Tracer) trace.TrackID {
+	if tr == nil {
+		return trace.NoTrack
+	}
+	if !r.ttReg {
+		r.ttk = tr.Track(trace.GroupRanks, fmt.Sprintf("rank %d", r.id))
+		r.ttReg = true
+	}
+	return r.ttk
 }
 
 // ID returns the world rank number.

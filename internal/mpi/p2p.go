@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Message is a point-to-point payload. Size is the wire size in bytes;
@@ -157,6 +158,14 @@ func (r *Rank) Isend(dst, tag int, m Message) *Request {
 	req := &Request{w: r.w}
 	dstRank := r.w.ranks[dst]
 	srcNode, dstNode := r.node, dstRank.node
+	// Trace the message lifetime as an async span: begun on the sender's
+	// timeline at Isend, ended on the receiver's timeline at delivery.
+	tr := r.w.k.Tracer()
+	var aid uint64
+	if tr != nil {
+		aid = tr.AsyncBegin(r.TraceTrack(tr), "mpi", "p2p", int64(r.proc.Now()),
+			trace.I("dst", int64(dst)), trace.I("bytes", m.Size))
+	}
 	r.w.k.Spawn(fmt.Sprintf("msg.%d->%d.t%d", r.id, dst, tag), func(p *sim.Proc) {
 		if srcNode == dstNode {
 			srcNode.LocalCopy(p, m.Size)
@@ -166,6 +175,9 @@ func (r *Rank) Isend(dst, tag int, m Message) *Request {
 			req.Complete()
 			p.Sleep(r.w.fabric.Latency())
 			dstNode.Eject(p, m.Size)
+		}
+		if tr != nil {
+			tr.AsyncEnd(dstRank.TraceTrack(tr), "mpi", "p2p", aid, int64(p.Now()))
 		}
 		dstRank.deliver(&m)
 	})

@@ -124,6 +124,14 @@ func (d *Device) reserve(n int64) error {
 	return nil
 }
 
+// traceError marks a device-level failure on the device's trace timeline
+// (the same track its station busy spans and queue counters live on).
+func (d *Device) traceError(name string) {
+	if tr := d.k.Tracer(); tr != nil {
+		tr.Instant(d.ch.TraceTrack(tr), "nvm", name, int64(d.k.Now()))
+	}
+}
+
 // release frees n bytes of capacity.
 func (d *Device) release(n int64) {
 	d.used -= n
@@ -217,6 +225,7 @@ func (f *File) Allocated() int64 { return f.reserved.TotalBytes() }
 // how many new bytes were claimed.
 func (f *File) reserve(e extent.Extent) (int64, error) {
 	if f.fs.dev.failed {
+		f.fs.dev.traceError("io_error")
 		return 0, fmt.Errorf("%w: %s", ErrIO, f.fs.dev.name)
 	}
 	var need int64
@@ -227,6 +236,7 @@ func (f *File) reserve(e extent.Extent) (int64, error) {
 		return 0, nil
 	}
 	if err := f.fs.dev.reserve(need); err != nil {
+		f.fs.dev.traceError("enospc")
 		return 0, err
 	}
 	f.reserved.Add(e)
@@ -273,6 +283,7 @@ func (f *File) ReadAt(p *sim.Proc, buf []byte, off, size int64) error {
 	}
 	if f.fs.dev.failed {
 		f.fs.dev.serve(p, 0, 0)
+		f.fs.dev.traceError("io_error")
 		return fmt.Errorf("%w: %s", ErrIO, f.fs.dev.name)
 	}
 	f.fs.dev.read(p, size)

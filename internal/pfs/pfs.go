@@ -19,6 +19,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Errors returned by the file system.
@@ -411,6 +412,10 @@ func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) error {
 		ts := s.tstate[r.target]
 		if ts.down {
 			sp.Sleep(s.cfg.TargetLatency) // RPC timeout
+			if tr := s.k.Tracer(); tr != nil {
+				tr.Instant(s.targets[r.target].TraceTrack(tr), "pfs", "rpc_timeout",
+					int64(sp.Now()), trace.I("bytes", r.ext.Len))
+			}
 			return fmt.Errorf("%w: tgt%d", ErrTargetDown, r.target)
 		}
 		d := s.cfg.TargetLatency + s.cfg.TargetRate.DurationFor(r.ext.Len)

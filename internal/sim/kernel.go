@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // event is a scheduled occurrence: either a process wake-up or a kernel
@@ -48,6 +50,9 @@ type Kernel struct {
 	yield   chan struct{} // process -> kernel: "I blocked or finished"
 	running bool
 	err     error
+
+	tracer *trace.Tracer
+	ktrack trace.TrackID
 }
 
 // NewKernel creates a kernel whose random number stream is seeded with seed.
@@ -61,6 +66,19 @@ func NewKernel(seed int64) *Kernel {
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetTracer attaches an event tracer. Tracing is off (nil) by default; when
+// attached, every layer built on this kernel reaches the tracer via Tracer()
+// so instrumentation needs no extra plumbing. Attaching a tracer records
+// events only — it never schedules work or consumes randomness, so it cannot
+// perturb virtual time.
+func (k *Kernel) SetTracer(t *trace.Tracer) {
+	k.tracer = t
+	k.ktrack = t.Track(trace.GroupKernel, "kernel")
+}
+
+// Tracer returns the attached tracer, or nil when tracing is disabled.
+func (k *Kernel) Tracer() *trace.Tracer { return k.tracer }
 
 // Rand returns the kernel's deterministic random number generator. It must
 // only be used from simulation processes or kernel callbacks (the simulation
@@ -91,9 +109,11 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		name:   name,
 		id:     k.nextID,
 		resume: make(chan struct{}),
+		ttk:    trace.NoTrack,
 	}
 	k.nextID++
 	k.live[p.id] = p
+	k.tracer.Counter(k.ktrack, "live_procs", int64(k.now), int64(len(k.live)))
 	k.schedule(event{t: k.now, fn: func() { k.start(p, fn) }})
 	return p
 }
@@ -109,6 +129,7 @@ func (k *Kernel) start(p *Proc, fn func(p *Proc)) {
 			}
 			p.done = true
 			delete(k.live, p.id)
+			k.tracer.Counter(k.ktrack, "live_procs", int64(k.now), int64(len(k.live)))
 			k.yield <- struct{}{}
 		}()
 		fn(p)
@@ -169,6 +190,7 @@ type Proc struct {
 	resume   chan struct{}
 	done     bool
 	panicked interface{}
+	ttk      trace.TrackID
 }
 
 // Name returns the process name given at Spawn.
@@ -183,8 +205,27 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// block transfers control back to the kernel and waits to be resumed.
+// SetTraceTrack assigns the trace timeline that this process's blocked
+// intervals are recorded on. Processes without a track (the default) record
+// nothing.
+func (p *Proc) SetTraceTrack(tk trace.TrackID) { p.ttk = tk }
+
+// TraceTrack returns the process's trace timeline, or trace.NoTrack.
+func (p *Proc) TraceTrack() trace.TrackID { return p.ttk }
+
+// block transfers control back to the kernel and waits to be resumed. When
+// the process carries a trace track, the blocked interval is recorded as a
+// span (zero-length blocks — pure scheduling yields — are skipped).
 func (p *Proc) block() {
+	if tr := p.k.tracer; tr != nil && p.ttk >= 0 {
+		start := p.k.now
+		p.k.yield <- struct{}{}
+		<-p.resume
+		if p.k.now > start {
+			tr.SpanAt(p.ttk, "sim", "blocked", int64(start), int64(p.k.now))
+		}
+		return
+	}
 	p.k.yield <- struct{}{}
 	<-p.resume
 }

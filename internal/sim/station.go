@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/trace"
+
 // Station is a FIFO queueing station with a fixed number of identical
 // servers. It models contended resources such as storage targets, NIC
 // injection ports and metadata servers: requests queue in arrival order and
@@ -16,6 +18,9 @@ type Station struct {
 	Served    int64 // completed service requests
 	Bytes     int64 // payload bytes accounted via ServeBytes
 	QueuedMax int   // high-water mark of the wait queue
+
+	ttk  trace.TrackID
+	treg bool
 }
 
 // NewStation creates a station with the given number of parallel servers.
@@ -29,6 +34,20 @@ func NewStation(k *Kernel, name string, servers int) *Station {
 // Name returns the station name.
 func (s *Station) Name() string { return s.name }
 
+// TraceTrack lazily registers and returns this station's trace timeline
+// (first use wins the registration, which is deterministic in a seeded
+// run). Layers above can use it to attach events to the device's track.
+func (s *Station) TraceTrack(tr *trace.Tracer) trace.TrackID {
+	if tr == nil {
+		return trace.NoTrack
+	}
+	if !s.treg {
+		s.ttk = tr.Track(trace.GroupStations, s.name)
+		s.treg = true
+	}
+	return s.ttk
+}
+
 // Acquire obtains one server, queueing FIFO behind earlier requests.
 func (s *Station) Acquire(p *Proc) {
 	if s.busy < s.servers {
@@ -39,6 +58,9 @@ func (s *Station) Acquire(p *Proc) {
 	if len(s.waiters) > s.QueuedMax {
 		s.QueuedMax = len(s.waiters)
 	}
+	if tr := s.k.tracer; tr != nil {
+		tr.Counter(s.TraceTrack(tr), "queue", int64(s.k.now), int64(len(s.waiters)))
+	}
 	p.Park()
 	// The releaser transferred the server to us: busy stays constant.
 }
@@ -48,6 +70,9 @@ func (s *Station) Release() {
 	if len(s.waiters) > 0 {
 		p := s.waiters[0]
 		s.waiters = s.waiters[1:]
+		if tr := s.k.tracer; tr != nil {
+			tr.Counter(s.TraceTrack(tr), "queue", int64(s.k.now), int64(len(s.waiters)))
+		}
 		s.k.Wake(p)
 		return
 	}
@@ -60,7 +85,13 @@ func (s *Station) Release() {
 // Serve occupies one server for duration d.
 func (s *Station) Serve(p *Proc, d Time) {
 	s.Acquire(p)
-	p.Sleep(d)
+	if tr := s.k.tracer; tr != nil {
+		start := s.k.now
+		p.Sleep(d)
+		tr.SpanAt(s.TraceTrack(tr), "station", s.name, int64(start), int64(s.k.now))
+	} else {
+		p.Sleep(d)
+	}
 	s.BusyTime += d
 	s.Served++
 	s.Release()

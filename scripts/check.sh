@@ -1,7 +1,7 @@
 #!/bin/sh
-# check.sh — the repo's tier-1 gate plus static and race checks.
+# check.sh — the repo's tier-1 gate plus static, race and coverage checks.
 #
-#   scripts/check.sh          # build, vet, full tests, race tests (-short)
+#   scripts/check.sh          # fmt, build, vet, full tests, race (-short), coverage
 #   scripts/check.sh -full    # same, but the race pass runs the full suite
 #
 # The race pass defaults to -short: the heavy end-to-end shape tests guard
@@ -10,9 +10,20 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Minimum total statement coverage; the suite currently sits around 79%.
+cover_min=70
+
 race_flags="-short"
 if [ "${1:-}" = "-full" ]; then
     race_flags=""
+fi
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
 fi
 
 echo "== go build ./..."
@@ -27,5 +38,17 @@ go test ./...
 echo "== go test -race $race_flags ./..."
 # shellcheck disable=SC2086 # race_flags is intentionally word-split
 go test -race -count=1 $race_flags ./...
+
+echo "== coverage gate (>= ${cover_min}% of statements)"
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+go test -count=1 -coverprofile="$profile" ./... >/dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total coverage: ${total}%"
+ok=$(awk -v t="$total" -v m="$cover_min" 'BEGIN {print (t+0 >= m) ? 1 : 0}')
+if [ "$ok" != 1 ]; then
+    echo "coverage ${total}% is below the ${cover_min}% gate" >&2
+    exit 1
+fi
 
 echo "== all checks passed"
