@@ -1,5 +1,6 @@
 # Tier-1 gate plus static, race and coverage checks; see scripts/check.sh.
-.PHONY: check check-full test build vet fmt-check cover trace-demo
+.PHONY: check check-full test build vet fmt-check cover trace-demo \
+	bench-record bench-compare
 
 build:
 	go build ./...
@@ -24,6 +25,18 @@ cover:
 # open the file with https://ui.perfetto.dev (byte-reproducible per seed).
 trace-demo:
 	go run ./cmd/e10bench -trace trace.json -scale 8x4 -files 2
+
+# Run the fixed 18-scenario regression matrix and commit the baseline.
+# The simulation is deterministic, so the file is reproducible per seed.
+bench-record:
+	go run ./cmd/e10bench -bench-record BENCH_$$(date +%Y-%m-%d).json
+
+# Re-run the matrix and gate against the newest committed baseline
+# (>2% virtual wall-time regression on any scenario fails).
+bench-compare:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort | tail -1); \
+	if [ -z "$$base" ]; then echo "no BENCH_*.json baseline; run 'make bench-record' first" >&2; exit 1; fi; \
+	go run ./cmd/e10bench -bench-compare "$$base"
 
 check:
 	scripts/check.sh

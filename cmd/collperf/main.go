@@ -37,5 +37,6 @@ func main() {
 	}
 	cli.Report(os.Stdout, res)
 	flags.ReportTrace(os.Stdout, res)
+	flags.ReportMetrics(os.Stdout, "collperf", res)
 	flags.MaybeReport(os.Stdout, res)
 }

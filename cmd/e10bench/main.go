@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -35,8 +36,20 @@ func main() {
 		faults   = flag.String("faults", "", "fault schedule armed on every cell (see internal/fault)")
 		fdemo    = flag.Bool("faultdemo", false, "run the degraded-PFS-target scenario instead of the figures")
 		tracef   = flag.String("trace", "", "trace one representative cache-enabled coll_perf cell to this Chrome/Perfetto JSON file instead of the figures")
+		mflags   = cli.RegisterMetrics(flag.CommandLine)
+		brecord  = flag.String("bench-record", "", "run the fixed regression matrix and write the baseline JSON to this file")
+		bcompare = flag.String("bench-compare", "", "run the fixed regression matrix and compare against this baseline JSON (exit 1 on >2% regression)")
 	)
 	flag.Parse()
+
+	if *brecord != "" {
+		runBenchRecord(*seed, *brecord)
+		return
+	}
+	if *bcompare != "" {
+		runBenchCompare(*seed, *bcompare)
+		return
+	}
 
 	var sw harness.Sweep
 	switch *sweep {
@@ -75,6 +88,10 @@ func main() {
 	}
 	if *tracef != "" {
 		runTraceDemo(sw, *tracef)
+		return
+	}
+	if mflags.Enabled() {
+		runMetricsDemo(sw, mflags)
 		return
 	}
 
@@ -275,6 +292,80 @@ func runTraceDemo(sw harness.Sweep, path string) {
 	fmt.Print(res.TraceSummary)
 	fmt.Printf("wrote %s (%d events on %d tracks); open with https://ui.perfetto.dev or chrome://tracing\n",
 		path, res.Trace.Len(), res.Trace.Tracks())
+}
+
+// benchTolerancePct is the wall-time regression the compare gate accepts.
+// The simulation is deterministic, so unchanged code reproduces the
+// baseline exactly; the headroom only absorbs intentional model tweaks.
+const benchTolerancePct = 2
+
+// runBenchRecord runs the regression matrix and writes the baseline file.
+func runBenchRecord(seed int64, path string) {
+	rep, err := harness.RunBenchReport(seed)
+	if err != nil {
+		fatalf("bench-record: %v", err)
+	}
+	b, err := harness.MarshalBench(rep)
+	if err != nil {
+		fatalf("bench-record: %v", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fatalf("bench-record: %v", err)
+	}
+	fmt.Print(harness.RenderBench(rep))
+	fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", path, len(rep.Scenarios))
+}
+
+// runBenchCompare re-runs the matrix and gates on the baseline file.
+func runBenchCompare(seed int64, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("bench-compare: %v", err)
+	}
+	base, err := harness.ParseBench(data)
+	if err != nil {
+		fatalf("bench-compare: %s: %v", path, err)
+	}
+	if base.Seed != seed {
+		seed = base.Seed // compare on the baseline's seed, not the default
+	}
+	cur, err := harness.RunBenchReport(seed)
+	if err != nil {
+		fatalf("bench-compare: %v", err)
+	}
+	if err := harness.CompareBenchReports(base, cur, benchTolerancePct); err != nil {
+		fatalf("bench-compare vs %s: %v", path, err)
+	}
+	fmt.Printf("bench-compare: %d scenarios within %d%% of %s\n",
+		len(base.Scenarios), benchTolerancePct, path)
+}
+
+// runMetricsDemo runs the same representative cache-enabled coll_perf cell
+// as the trace demo, but with the metrics registry attached: -metrics
+// prints the registry text, -metrics-out writes the e10stat input JSON.
+// Metrics are deterministic: the same seed and scale reproduce the
+// registry text byte for byte.
+func runMetricsDemo(sw harness.Sweep, mflags *cli.MetricsFlags) {
+	w := workloads.DefaultCollPerf()
+	aggs := 16
+	if n := sw.Cluster.Nodes * sw.Cluster.RanksPerNode; aggs > n {
+		aggs = n
+	}
+	spec := harness.DefaultSpec(w, harness.CacheEnabled, aggs, 16<<20)
+	spec.Cluster = sw.Cluster
+	spec.NFiles = sw.NFiles
+	spec.ComputeDelay = sw.Compute
+	spec.FaultSpec = sw.FaultSpec
+	mflags.Apply(&spec)
+	res, err := harness.Run(spec)
+	if err != nil {
+		fatalf("metrics: %v", err)
+	}
+	fmt.Printf("measured %s cell=%s case=%s: %.2f GB/s, %.2f s simulated\n",
+		w.Name(), spec.Label(), spec.Case, res.BandwidthGBs, res.WallTime.Seconds())
+	if err := mflags.Report(os.Stdout, res); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func byteLabel(n int64) string {

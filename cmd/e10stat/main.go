@@ -1,0 +1,86 @@
+// Command e10stat analyses experiment results into paper-figure-style
+// reports: the per-phase cost breakdown (Figures 5/6/8/10), the cache
+// speedup comparison (Figures 4/7/9) and the flush-overlap accounting of
+// Equation 1. Inputs are the JSON files written by the workload binaries'
+// -metrics-out flag (or Chrome trace files from -trace); results from
+// multiple runs can be combined in one report.
+//
+//	collperf -case disabled -metrics-out dis.json
+//	collperf -case enabled  -metrics-out en.json
+//	e10stat dis.json en.json
+//	e10stat -format csv -out report.csv en.json
+//	e10stat -run                   # built-in small demo pair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/estat"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fs := flag.NewFlagSet("e10stat", flag.ExitOnError)
+	format := fs.String("format", "md", "report format: md | csv | json")
+	out := fs.String("out", "", "write the report to this file instead of stdout")
+	demo := fs.Bool("run", false, "run a small built-in disabled/enabled coll_perf pair and report on it")
+	_ = fs.Parse(os.Args[1:])
+
+	var ins []estat.Input
+	if *demo {
+		ins = append(ins, runDemo()...)
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			cli.Fatalf("e10stat", "%v", err)
+		}
+		parsed, err := estat.Parse(data)
+		if err != nil {
+			cli.Fatalf("e10stat", "%s: %v", path, err)
+		}
+		ins = append(ins, parsed...)
+	}
+	if len(ins) == 0 {
+		cli.Fatalf("e10stat", "no inputs: pass JSON files (from -metrics-out or -trace) or use -run")
+	}
+
+	text, err := estat.Render(ins, *format)
+	if err != nil {
+		cli.Fatalf("e10stat", "%v", err)
+	}
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		cli.Fatalf("e10stat", "%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "e10stat: wrote %s\n", *out)
+}
+
+// runDemo produces a small deterministic disabled/enabled pair so the
+// report machinery can be exercised without prior runs.
+func runDemo() []estat.Input {
+	w := workloads.DefaultCollPerf()
+	w.RunBytes = 256 << 10
+	var ins []estat.Input
+	for _, cs := range []harness.Case{harness.CacheDisabled, harness.CacheEnabled} {
+		spec := harness.DefaultSpec(w, cs, 4, 4<<20)
+		spec.Cluster = harness.Scaled(42, 2, 2)
+		spec.NFiles = 2
+		spec.ComputeDelay = sim.Second / 2
+		spec.Metrics = true
+		res, err := harness.Run(spec)
+		if err != nil {
+			cli.Fatalf("e10stat", "demo %s: %v", cs, err)
+		}
+		ins = append(ins, res.StatInput())
+	}
+	return ins
+}

@@ -66,6 +66,7 @@ func main() {
 	}
 	cli.Report(os.Stdout, res)
 	flags.ReportTrace(os.Stdout, res)
+	flags.ReportMetrics(os.Stdout, "flashio", res)
 	flags.MaybeReport(os.Stdout, res)
 	fmt.Printf("  checkpoint size    : %.2f GB/process-file\n",
 		float64(base.FileBytes(spec.Cluster.Nodes*spec.Cluster.RanksPerNode))/1e9)

@@ -5,11 +5,20 @@ import (
 	"sort"
 
 	"repro/internal/extent"
+	"repro/internal/metrics"
 	"repro/internal/mpe"
 	"repro/internal/mpi"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
+
+// layerLabel is the metrics label shared by every ADIO series.
+var layerLabel = metrics.L(metrics.KeyLayer, "adio")
+
+// metrics returns the kernel-owned registry (nil when disabled).
+func (f *File) metrics() *metrics.Registry {
+	return f.rank.World().Kernel().Metrics()
+}
 
 // tagDataBase is the tag space for two-phase data-exchange messages.
 const tagDataBase = 1 << 27
@@ -42,6 +51,12 @@ func (f *File) WriteStridedColl(segs []extent.Extent, data []byte) error {
 		return fmt.Errorf("adio: payload length %d != segment total %d", len(data), total)
 	}
 	f.Stats.CollWrites++
+
+	mt := f.metrics()
+	mt.Counter("adio_coll_writes_total", layerLabel).Inc()
+	mRoundNs := mt.Histogram("adio_round_ns", layerLabel)
+	mRounds := mt.Counter("adio_coll_rounds_total", layerLabel)
+	mExch := mt.Counter("adio_exchange_bytes_total", layerLabel)
 
 	tr := r.World().Kernel().Tracer()
 	ttk := r.TraceTrack(tr)
@@ -129,6 +144,7 @@ func (f *File) WriteStridedColl(segs []extent.Extent, data []byte) error {
 	var firstErr error
 	for m := 0; m < ntimes; m++ {
 		tag := tagDataBase + (m & 0xffff)
+		roundT0 := r.Now()
 		rsp := tr.Begin(ttk, "adio", "round", int64(r.Now()))
 
 		// What do I send to each aggregator this round?
@@ -176,6 +192,7 @@ func (f *File) WriteStridedColl(segs []extent.Extent, data []byte) error {
 			}
 			msg := buildDataMsg(sendExts[a], segs, pre, data)
 			f.Stats.BytesExchanged += msg.Size
+			mExch.Add(msg.Size)
 			sendReqs = append(sendReqs, r.Isend(c.Member(f.aggList[a]).ID(), tag, msg))
 		}
 		r.Waitall(sendReqs)
@@ -193,9 +210,11 @@ func (f *File) WriteStridedColl(segs []extent.Extent, data []byte) error {
 					firstErr = err
 				}
 				f.Stats.CollRounds++
+				mRounds.Inc()
 			}
 		}
 		rsp.End(int64(r.Now()), trace.I("round", int64(m)), trace.I("ntimes", int64(ntimes)))
+		mRoundNs.Observe(int64(r.Now() - roundT0))
 	}
 
 	// Step 5: synchronise and exchange error codes.

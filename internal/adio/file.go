@@ -254,6 +254,7 @@ func (f *File) WriteContig(data []byte, off, size int64) error {
 		}
 		if handled {
 			f.Stats.BytesWritten += size
+			f.metrics().Counter("adio_write_bytes_total", layerLabel).Add(size)
 			return nil
 		}
 	}
@@ -261,6 +262,7 @@ func (f *File) WriteContig(data []byte, off, size int64) error {
 		return err
 	}
 	f.Stats.BytesWritten += size
+	f.metrics().Counter("adio_write_bytes_total", layerLabel).Add(size)
 	return nil
 }
 

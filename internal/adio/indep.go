@@ -24,6 +24,7 @@ func (f *File) WriteStrided(segs []extent.Extent, data []byte) error {
 		return nil
 	}
 	f.Stats.IndepWrites++
+	f.metrics().Counter("adio_indep_writes_total", layerLabel).Inc()
 
 	var pre []int64
 	if data != nil {

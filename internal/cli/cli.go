@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,52 @@ type Flags struct {
 	TraceSum *bool
 	Stats    *bool
 	Faults   *string
+	Metrics  *MetricsFlags
+}
+
+// MetricsFlags holds the metrics options every binary shares: printing the
+// registry text after a run and exporting the e10stat exchange JSON.
+type MetricsFlags struct {
+	Show *bool
+	Out  *string
+}
+
+// RegisterMetrics installs the shared metrics flags on fs. The workload
+// binaries get them through Register; e10bench installs them directly.
+func RegisterMetrics(fs *flag.FlagSet) *MetricsFlags {
+	return &MetricsFlags{
+		Show: fs.Bool("metrics", false, "collect metrics during the run and print the registry text"),
+		Out:  fs.String("metrics-out", "", "collect metrics and write the e10stat input JSON to this file"),
+	}
+}
+
+// Enabled reports whether either metrics flag asks for collection.
+func (m *MetricsFlags) Enabled() bool { return *m.Show || *m.Out != "" }
+
+// Apply turns on metrics collection in spec when requested.
+func (m *MetricsFlags) Apply(spec *harness.Spec) {
+	if m.Enabled() {
+		spec.Metrics = true
+	}
+}
+
+// Report prints the registry text and/or writes the e10stat input file,
+// according to the flags.
+func (m *MetricsFlags) Report(out io.Writer, res *harness.Result) error {
+	if *m.Show {
+		fmt.Fprint(out, res.MetricsSummary)
+	}
+	if *m.Out != "" {
+		b, err := json.MarshalIndent(res.StatInput(), "", "  ")
+		if err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		if err := os.WriteFile(*m.Out, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		fmt.Fprintf(out, "metrics: wrote %s (feed it to e10stat)\n", *m.Out)
+	}
+	return nil
 }
 
 // Register installs the common flags on fs with the paper's defaults.
@@ -49,6 +96,7 @@ func Register(fs *flag.FlagSet, includeLastSync bool) *Flags {
 		Stats:    fs.Bool("stats", false, "print the cluster resource report after the run"),
 		Faults: fs.String("faults", "", "fault schedule, e.g. "+
 			"'degrade-target,target=1,factor=0.2,from=2s,to=8s;fail-device,node=0,at=5s'"),
+		Metrics: RegisterMetrics(fs),
 	}
 }
 
@@ -75,6 +123,7 @@ func (f *Flags) Spec(w workloads.Workload) (harness.Spec, error) {
 	spec.TracePath = *f.Trace
 	spec.TraceEvents = *f.TraceSum
 	spec.FaultSpec = *f.Faults
+	f.Metrics.Apply(&spec)
 	return spec, nil
 }
 
@@ -111,6 +160,14 @@ func Report(out io.Writer, res *harness.Result) {
 	}
 	if res.FaultReport != "" {
 		fmt.Fprint(out, res.FaultReport)
+	}
+}
+
+// ReportMetrics prints the registry text and/or writes the e10stat input
+// file per the shared metrics flags, exiting on write errors.
+func (f *Flags) ReportMetrics(out io.Writer, tool string, res *harness.Result) {
+	if err := f.Metrics.Report(out, res); err != nil {
+		Fatalf(tool, "%v", err)
 	}
 }
 

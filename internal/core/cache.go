@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/adio"
 	"repro/internal/extent"
+	"repro/internal/metrics"
 	"repro/internal/mpe"
 	"repro/internal/mpi"
 	"repro/internal/nvm"
@@ -127,7 +128,56 @@ type Cache struct {
 	pending     []*syncReq // created but not yet submitted (flush_onclose)
 	outstanding []*syncReq // submitted or pending; waited on at flush
 
+	// Metric handles, registered lazily on first use. The series carry only
+	// the layer label, so every rank's cache feeds the same aggregate — the
+	// per-run totals Equation 1 is stated in.
+	mreg        bool
+	mWrites     *metrics.Counter
+	mBytes      *metrics.Counter
+	mThrough    *metrics.Counter
+	mDevErr     *metrics.Counter
+	mSyncReqs   *metrics.Counter
+	mSynced     *metrics.Counter
+	mRetries    *metrics.Counter
+	mFailures   *metrics.Counter
+	mBackoffs   *metrics.Counter
+	mFlushWaits *metrics.Counter
+	mNotHidden  *metrics.Counter
+	mReplays    *metrics.Counter
+	mRecovered  *metrics.Counter
+	mExtentNs   *metrics.Histogram
+	mChunkNs    *metrics.Histogram
+
 	Stats Stats
+}
+
+// metricsOn resolves (and caches) the cache's metric handles; it returns
+// false when metrics are disabled.
+func (c *Cache) metricsOn() bool {
+	m := c.f.Rank().World().Kernel().Metrics()
+	if m == nil {
+		return false
+	}
+	if !c.mreg {
+		layer := metrics.L(metrics.KeyLayer, "core")
+		c.mWrites = m.Counter("cache_writes_total", layer)
+		c.mBytes = m.Counter("cache_bytes_total", layer)
+		c.mThrough = m.Counter("cache_write_through_total", layer)
+		c.mDevErr = m.Counter("cache_device_errors_total", layer)
+		c.mSyncReqs = m.Counter("cache_sync_reqs_total", layer)
+		c.mSynced = m.Counter("cache_synced_bytes_total", layer)
+		c.mRetries = m.Counter("cache_sync_retries_total", layer)
+		c.mFailures = m.Counter("cache_sync_failures_total", layer)
+		c.mBackoffs = m.Counter("cache_adaptive_backoffs_total", layer)
+		c.mFlushWaits = m.Counter("cache_flush_waits_total", layer)
+		c.mNotHidden = m.Counter("not_hidden_sync_ns_total", layer)
+		c.mReplays = m.Counter("cache_journal_replays_total", layer)
+		c.mRecovered = m.Counter("cache_recovered_bytes_total", layer)
+		c.mExtentNs = m.Histogram("cache_sync_extent_ns", layer)
+		c.mChunkNs = m.Histogram("cache_sync_chunk_ns", layer)
+		c.mreg = true
+	}
+	return true
 }
 
 var _ adio.Hooks = (*Cache)(nil)
@@ -183,6 +233,10 @@ func (c *Cache) AtOpenColl(f *adio.File) error {
 			return fmt.Errorf("core: cache recovery: %w", err)
 		}
 		rsp.End(int64(f.Rank().Now()), trace.I("bytes", c.Stats.RecoveredBytes))
+		if c.metricsOn() {
+			c.mReplays.Inc()
+			c.mRecovered.Add(c.Stats.RecoveredBytes)
+		}
 	}
 	if !c.env.SkipSync {
 		c.syncer = startSyncThread(c)
@@ -236,6 +290,9 @@ func (c *Cache) recover(f *adio.File) error {
 // device dead for the rest of the run (all further writes go through),
 // while ENOSPC stays per-write — space may free up later.
 func (c *Cache) noteCacheError(err error) {
+	if c.metricsOn() {
+		c.mDevErr.Inc()
+	}
 	if errors.Is(err, nvm.ErrIO) {
 		c.degraded = true
 		c.Stats.CacheDegraded = true
@@ -248,6 +305,9 @@ func (c *Cache) noteCacheError(err error) {
 // noteWriteThrough accounts a write that bypassed the cache.
 func (c *Cache) noteWriteThrough(off, size int64) {
 	c.Stats.WriteThroughs++
+	if c.metricsOn() {
+		c.mThrough.Inc()
+	}
 	if tr, tk := c.tracer(); tr != nil {
 		tr.Instant(tk, "cache", "write_through", int64(c.f.Rank().Now()),
 			trace.I("off", off), trace.I("bytes", size))
@@ -297,6 +357,10 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 	}
 	c.Stats.CacheWrites++
 	c.Stats.CacheBytes += size
+	if c.metricsOn() {
+		c.mWrites.Inc()
+		c.mBytes.Add(size)
+	}
 	c.dirty.Add(e)
 	tr, tk := c.tracer()
 	tr.Instant(tk, "cache", "cache_write", int64(r.Now()),
@@ -315,6 +379,7 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 	req.aid = tr.AsyncBegin(tk, "cache", "sync_req", int64(r.Now()),
 		trace.I("off", off), trace.I("len", size))
 	c.Stats.SyncRequests++
+	c.mSyncReqs.Inc()
 	c.outstanding = append(c.outstanding, req)
 	if c.opts.FlushFlag == FlushOnClose {
 		c.pending = append(c.pending, req)
@@ -381,6 +446,10 @@ func (c *Cache) AtFlush(f *adio.File) error {
 	if wait := r.Now() - start; wait > 0 {
 		c.Stats.FlushWaits++
 		c.Stats.FlushWaitTime += wait
+		if c.metricsOn() {
+			c.mFlushWaits.Inc()
+			c.mNotHidden.Add(int64(wait))
+		}
 		f.Log().Add(mpe.PhaseNotHiddenSync, wait)
 		// This wait IS Equation 1's not_hidden_sync term; give it its own
 		// span so a trace shows exactly which flush stalled and for how long.
@@ -537,9 +606,13 @@ func (st *syncThread) run(p *sim.Proc) {
 		if tr != nil {
 			tr.Counter(st.tk, "sync_queue", int64(p.Now()), int64(len(st.queue)))
 		}
+		extT0 := p.Now()
 		esp := tr.Begin(st.tk, "cache", "sync_extent", int64(p.Now()))
 		err := st.syncExtent(p, req, bufSize)
 		esp.End(int64(p.Now()), trace.I("off", req.ext.Off), trace.I("len", req.ext.Len))
+		if c.metricsOn() {
+			c.mExtentNs.Observe(int64(p.Now() - extT0))
+		}
 		if st.crashed {
 			// The node died mid-extent: abandon the request (nobody is
 			// left to observe it) but don't leak its lock.
@@ -558,6 +631,7 @@ func (st *syncThread) run(p *sim.Proc) {
 		}
 		if err != nil {
 			c.Stats.SyncFailures++
+			c.mFailures.Inc()
 			if tr != nil {
 				tr.Instant(st.tk, "cache", "sync_failed", int64(p.Now()),
 					trace.I("off", req.ext.Off), trace.I("len", req.ext.Len))
@@ -589,10 +663,17 @@ func (st *syncThread) syncExtent(p *sim.Proc, req *syncReq, bufSize int64) error
 		csp := tr.Begin(st.tk, "cache", "sync_chunk", int64(start))
 		if err := st.syncChunk(p, off, n); err != nil {
 			csp.End(int64(p.Now()), trace.I("off", off), trace.I("len", n))
+			if c.metricsOn() {
+				c.mChunkNs.Observe(int64(p.Now() - start))
+			}
 			return err
 		}
 		csp.End(int64(p.Now()), trace.I("off", off), trace.I("len", n))
+		if c.metricsOn() {
+			c.mChunkNs.Observe(int64(p.Now() - start))
+		}
 		c.Stats.SyncedBytes += n
+		c.mSynced.Add(n)
 		c.dirty.Remove(extent.Extent{Off: off, Len: n})
 		if tr != nil {
 			tr.Counter(st.tk, "dirty_bytes", int64(p.Now()), c.dirty.TotalBytes())
@@ -610,6 +691,7 @@ func (st *syncThread) syncExtent(p *sim.Proc, req *syncReq, bufSize int64) error
 		}
 		if took > 2*baseline {
 			c.Stats.Backoffs++
+			c.mBackoffs.Inc()
 			if tr != nil {
 				tr.Instant(st.tk, "cache", "adaptive_backoff", int64(p.Now()),
 					trace.I("excess_ns", int64(took-baseline)))
@@ -647,6 +729,9 @@ func (st *syncThread) syncChunk(p *sim.Proc, off, n int64) error {
 			return fmt.Errorf("%w (after %d attempts)", err, attempt+1)
 		}
 		c.Stats.SyncRetries++
+		if c.metricsOn() {
+			c.mRetries.Inc()
+		}
 		if tr := st.k.Tracer(); tr != nil {
 			tr.Instant(st.tk, "cache", "sync_retry", int64(p.Now()),
 				trace.I("attempt", int64(attempt+1)), trace.I("backoff_ns", int64(backoff)))

@@ -1,0 +1,60 @@
+package estat
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse holds Parse to its contract: arbitrary bytes either produce
+// valid inputs or an error — never a panic. The seed corpus covers every
+// accepted container shape plus characteristic malformed files; more seeds
+// live under testdata/fuzz/FuzzParse.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sampleInput))
+	f.Add([]byte("[" + sampleInput + "]"))
+	f.Add([]byte(`{"traceEvents": [{"name": "write", "cat": "phase", "ph": "X", "ts": 1, "dur": 2, "tid": 0}]}`))
+	f.Add([]byte(`{"traceEvents": []}`))
+	f.Add([]byte(`{"schema": "e10stat/v1"}`))
+	f.Add([]byte(`{"schema": "bogus"}`))
+	f.Add([]byte(`{"wall_time_ns": -1}`))
+	f.Add([]byte(`{"traceEvents": [{"ts": "not-a-number", "dur": null, "tid": {"deep": [1,2]}}]}`))
+	f.Add([]byte(`[{]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`0`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, err := Parse(data) // must never panic
+		if err == nil && len(ins) == 0 {
+			t.Errorf("Parse returned no inputs and no error for %q", data)
+		}
+		if err == nil {
+			// Whatever parses must also render without panicking.
+			if _, rerr := Render(ins, FormatMarkdown); rerr != nil {
+				t.Errorf("parsed input failed to render: %v", rerr)
+			}
+		}
+	})
+}
+
+// TestFuzzCorpusCovered replays the checked-in corpus files through Parse so
+// the regular test run exercises them even when fuzzing is not invoked.
+func TestFuzzCorpusCovered(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzParse")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("seed corpus directory is empty")
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corpus files are in the Go fuzz encoding; feeding the raw file to
+		// Parse still checks the no-panic contract on adversarial bytes.
+		_, _ = Parse(data)
+	}
+}

@@ -1,0 +1,290 @@
+package estat
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report formats.
+const (
+	FormatMarkdown = "md"
+	FormatCSV      = "csv"
+	FormatJSON     = "json"
+)
+
+// CellReport is one input's derived breakdown: the paper's Figure-5 stacked
+// components plus explicit compute and residual rows, so the rows sum to
+// the wall time exactly.
+type CellReport struct {
+	Name         string           `json:"name"`
+	Ranks        int              `json:"ranks"`
+	Files        int              `json:"files"`
+	TotalBytes   int64            `json:"total_bytes"`
+	BandwidthGBs float64          `json:"bandwidth_gbs"`
+	WallTimeNs   int64            `json:"wall_time_ns"`
+	Rows         []BreakdownEntry `json:"rows"`
+}
+
+// SpeedupRow compares a cache-disabled input against a cache-enabled (or
+// theoretical) input of the same workload and cell (Figure 6).
+type SpeedupRow struct {
+	Key         string `json:"key"` // "<workload>/<cell>"
+	Case        string `json:"case"`
+	DisabledNs  int64  `json:"disabled_ns"`
+	EnabledNs   int64  `json:"enabled_ns"`
+	SpeedupX100 int64  `json:"speedup_x100"` // ratio * 100, integer
+}
+
+// OverlapRow reports how much of the cache synchronisation time was hidden
+// behind compute (Figure 7 / Equation 1), derived from the metrics
+// snapshot: hidden = sync_extent time - not_hidden_sync time.
+type OverlapRow struct {
+	Name          string `json:"name"`
+	SyncNs        int64  `json:"sync_ns"`
+	NotHiddenNs   int64  `json:"not_hidden_ns"`
+	HiddenPctX10  int64  `json:"hidden_pct_x10"` // percentage * 10, integer
+	SyncedBytes   int64  `json:"synced_bytes"`
+	SyncRetries   int64  `json:"sync_retries"`
+	JournalReplay int64  `json:"journal_replays"`
+}
+
+// Report is the analyzer's full output.
+type Report struct {
+	Cells    []CellReport `json:"cells"`
+	Speedups []SpeedupRow `json:"speedups,omitempty"`
+	Overlaps []OverlapRow `json:"overlaps,omitempty"`
+}
+
+// Build derives the report from parsed inputs. It is pure integer
+// arithmetic over the inputs, so the same inputs produce byte-identical
+// renderings.
+func Build(ins []Input) Report {
+	var rep Report
+	for _, in := range ins {
+		rep.Cells = append(rep.Cells, buildCell(in))
+		if row, ok := buildOverlap(in); ok {
+			rep.Overlaps = append(rep.Overlaps, row)
+		}
+	}
+	rep.Speedups = buildSpeedups(ins)
+	return rep
+}
+
+func buildCell(in Input) CellReport {
+	c := CellReport{
+		Name:         in.Name(),
+		Ranks:        in.Ranks,
+		Files:        in.Files,
+		TotalBytes:   in.TotalBytes,
+		BandwidthGBs: in.BandwidthGBs,
+		WallTimeNs:   in.WallTimeNs,
+	}
+	var accounted int64
+	for _, e := range in.Breakdown {
+		c.Rows = append(c.Rows, e)
+		accounted += e.Ns
+	}
+	if in.ComputeNs > 0 {
+		c.Rows = append(c.Rows, BreakdownEntry{Phase: "compute", Ns: in.ComputeNs})
+		accounted += in.ComputeNs
+	}
+	// The residual makes the table sum to the wall time exactly: scheduling
+	// gaps, opens, barriers — anything the phase spans don't cover. It can
+	// go negative when per-phase maxima come from different ranks.
+	c.Rows = append(c.Rows, BreakdownEntry{Phase: "other", Ns: in.WallTimeNs - accounted})
+	return c
+}
+
+// buildSpeedups pairs each disabled input with every other case sharing its
+// workload and cell.
+func buildSpeedups(ins []Input) []SpeedupRow {
+	type key struct{ workload, cell string }
+	disabled := make(map[key]Input)
+	for _, in := range ins {
+		if in.Case == "disabled" {
+			disabled[key{in.Workload, in.Cell}] = in
+		}
+	}
+	var rows []SpeedupRow
+	for _, in := range ins {
+		if in.Case == "disabled" || in.Case == "" {
+			continue
+		}
+		base, ok := disabled[key{in.Workload, in.Cell}]
+		if !ok || in.WallTimeNs <= 0 {
+			continue
+		}
+		rows = append(rows, SpeedupRow{
+			Key:         in.Workload + "/" + in.Cell,
+			Case:        in.Case,
+			DisabledNs:  base.WallTimeNs,
+			EnabledNs:   in.WallTimeNs,
+			SpeedupX100: base.WallTimeNs * 100 / in.WallTimeNs,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Key != rows[j].Key {
+			return rows[i].Key < rows[j].Key
+		}
+		return rows[i].Case < rows[j].Case
+	})
+	return rows
+}
+
+// snapshot aggregation helpers (the analyzer sees the Snapshot, not the
+// live Registry).
+
+func snapCounterSum(in Input, name string) int64 {
+	if in.Metrics == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range in.Metrics.Counters {
+		if c.Name == name {
+			total += c.Total
+		}
+	}
+	return total
+}
+
+func snapHistSum(in Input, name string) int64 {
+	if in.Metrics == nil {
+		return 0
+	}
+	var total int64
+	for _, h := range in.Metrics.Histograms {
+		if h.Name == name {
+			total += h.Sum
+		}
+	}
+	return total
+}
+
+func buildOverlap(in Input) (OverlapRow, bool) {
+	syncNs := snapHistSum(in, "cache_sync_extent_ns")
+	if syncNs <= 0 {
+		return OverlapRow{}, false
+	}
+	notHidden := snapCounterSum(in, "not_hidden_sync_ns_total")
+	hidden := syncNs - notHidden
+	if hidden < 0 {
+		hidden = 0
+	}
+	return OverlapRow{
+		Name:          in.Name(),
+		SyncNs:        syncNs,
+		NotHiddenNs:   notHidden,
+		HiddenPctX10:  hidden * 1000 / syncNs,
+		SyncedBytes:   snapCounterSum(in, "cache_synced_bytes_total"),
+		SyncRetries:   snapCounterSum(in, "cache_sync_retries_total"),
+		JournalReplay: snapCounterSum(in, "cache_journal_replays_total"),
+	}, true
+}
+
+// Render builds the report from ins and renders it in the given format.
+func Render(ins []Input, format string) (string, error) {
+	rep := Build(ins)
+	switch format {
+	case FormatMarkdown, "":
+		return rep.Markdown(), nil
+	case FormatCSV:
+		return rep.CSV(), nil
+	case FormatJSON:
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return "", fmt.Errorf("estat: %w", err)
+		}
+		return string(b) + "\n", nil
+	default:
+		return "", fmt.Errorf("estat: unknown format %q (want md, csv or json)", format)
+	}
+}
+
+// ms renders nanoseconds as fixed-point milliseconds with integer math.
+func ms(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1_000_000, ns%1_000_000/1_000)
+}
+
+// pctOf renders part/whole as a fixed-point percentage with integer math.
+func pctOf(part, whole int64) string {
+	if whole == 0 {
+		return "-"
+	}
+	t := part * 1000 / whole
+	neg := ""
+	if t < 0 {
+		neg, t = "-", -t
+	}
+	return fmt.Sprintf("%s%d.%d%%", neg, t/10, t%10)
+}
+
+// Markdown renders the paper-figure-style report.
+func (rep Report) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("# e10stat report\n")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(&sb, "\n## %s\n\n", c.Name)
+		fmt.Fprintf(&sb, "ranks %d, files %d, %d bytes", c.Ranks, c.Files, c.TotalBytes)
+		if c.BandwidthGBs > 0 {
+			fmt.Fprintf(&sb, ", perceived bandwidth %.3f GB/s", c.BandwidthGBs)
+		}
+		sb.WriteString("\n\n")
+		sb.WriteString("| component | time (ms) | share |\n")
+		sb.WriteString("|---|---:|---:|\n")
+		for _, row := range c.Rows {
+			fmt.Fprintf(&sb, "| %s | %s | %s |\n", row.Phase, ms(row.Ns), pctOf(row.Ns, c.WallTimeNs))
+		}
+		fmt.Fprintf(&sb, "| **total (wall)** | %s | %s |\n", ms(c.WallTimeNs), pctOf(c.WallTimeNs, c.WallTimeNs))
+	}
+	if len(rep.Speedups) > 0 {
+		sb.WriteString("\n## Speedup: cache vs no cache\n\n")
+		sb.WriteString("| workload/cell | case | disabled (ms) | cached (ms) | speedup |\n")
+		sb.WriteString("|---|---|---:|---:|---:|\n")
+		for _, r := range rep.Speedups {
+			fmt.Fprintf(&sb, "| %s | %s | %s | %s | %d.%02dx |\n",
+				r.Key, r.Case, ms(r.DisabledNs), ms(r.EnabledNs),
+				r.SpeedupX100/100, r.SpeedupX100%100)
+		}
+	}
+	if len(rep.Overlaps) > 0 {
+		sb.WriteString("\n## Flush overlap (Equation 1)\n\n")
+		sb.WriteString("| cell | sync (ms) | not hidden (ms) | hidden | synced bytes | retries | replays |\n")
+		sb.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+		for _, r := range rep.Overlaps {
+			fmt.Fprintf(&sb, "| %s | %s | %s | %d.%d%% | %d | %d | %d |\n",
+				r.Name, ms(r.SyncNs), ms(r.NotHiddenNs),
+				r.HiddenPctX10/10, r.HiddenPctX10%10,
+				r.SyncedBytes, r.SyncRetries, r.JournalReplay)
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders the report as flat section,name,key,value rows.
+func (rep Report) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("section,name,key,value\n")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(&sb, "summary,%s,wall_time_ns,%d\n", c.Name, c.WallTimeNs)
+		fmt.Fprintf(&sb, "summary,%s,total_bytes,%d\n", c.Name, c.TotalBytes)
+		fmt.Fprintf(&sb, "summary,%s,bandwidth_gbs,%.3f\n", c.Name, c.BandwidthGBs)
+		for _, row := range c.Rows {
+			fmt.Fprintf(&sb, "breakdown,%s,%s,%d\n", c.Name, row.Phase, row.Ns)
+		}
+	}
+	for _, r := range rep.Speedups {
+		fmt.Fprintf(&sb, "speedup,%s/%s,speedup_x100,%d\n", r.Key, r.Case, r.SpeedupX100)
+	}
+	for _, r := range rep.Overlaps {
+		fmt.Fprintf(&sb, "overlap,%s,sync_ns,%d\n", r.Name, r.SyncNs)
+		fmt.Fprintf(&sb, "overlap,%s,not_hidden_ns,%d\n", r.Name, r.NotHiddenNs)
+		fmt.Fprintf(&sb, "overlap,%s,hidden_pct_x10,%d\n", r.Name, r.HiddenPctX10)
+	}
+	return sb.String()
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nvm"
 	"repro/internal/pfs"
@@ -288,15 +289,19 @@ func Arm(k *sim.Kernel, s *Schedule, tg Targets) (*Injector, error) {
 }
 
 // traceFault records a fault's apply/clear transitions on the shared
-// "faults" trace timeline (no-op without an attached tracer).
+// "faults" trace timeline and in the per-kind fault counter (no-op without
+// the respective observability layer attached).
 func traceFault(k *sim.Kernel, f Fault, on bool) {
-	tr := k.Tracer()
-	if tr == nil {
-		return
-	}
 	name := string(f.Kind)
 	if !on {
 		name += ".clear"
+	}
+	if m := k.Metrics(); m != nil {
+		m.Counter("fault_transitions_total", metrics.L(metrics.KeyOp, name)).Inc()
+	}
+	tr := k.Tracer()
+	if tr == nil {
+		return
 	}
 	loc := int64(f.Node)
 	if f.Kind == FailTarget || f.Kind == DegradeTarget {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/burst"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/mpe"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
@@ -65,6 +66,12 @@ type Spec struct {
 	// trace-event JSON (Perfetto-loadable) to this file after the run.
 	// Setting it implies TraceEvents.
 	TracePath string
+	// Metrics enables the metrics registry (internal/metrics): label-aware
+	// counters, gauges and latency histograms across every simulated layer,
+	// exposed as Result.Metrics. Like tracing, metrics record values only —
+	// they never perturb virtual time, so every measured number is identical
+	// with them on or off.
+	Metrics bool
 	// ExtraHints are merged into the MPI_Info last (e.g. cb_config_list
 	// for placement experiments, e10_cache_read, ...).
 	ExtraHints map[string]string
@@ -122,6 +129,12 @@ type Result struct {
 	// TraceSummary is the plain-text trace digest (top spans, counter
 	// high-water marks), empty when tracing was off.
 	TraceSummary string
+	// Metrics is the populated registry, non-nil only when Spec.Metrics was
+	// set.
+	Metrics *metrics.Registry
+	// MetricsSummary is the registry's plain-text digest (sorted, integer
+	// only, byte-deterministic per seed), empty when metrics were off.
+	MetricsSummary string
 	// Report is the post-run cluster resource summary (ClusterReport).
 	Report string
 	// FaultReport is the armed fault schedule's lifecycle rendering, empty
@@ -179,6 +192,11 @@ func Run(spec Spec) (*Result, error) {
 		tr = trace.New()
 		cl.Kernel.SetTracer(tr)
 	}
+	var reg *metrics.Registry
+	if spec.Metrics {
+		reg = metrics.New()
+		cl.Kernel.SetMetrics(reg)
+	}
 	switch {
 	case spec.Case == CacheTheoretical:
 		cl.CoreEnv.SkipSync = true
@@ -210,6 +228,9 @@ func Run(spec Spec) (*Result, error) {
 		if tr != nil {
 			// Registers the rank tracks 0..n-1 up front, in ascending order.
 			logs[i].BindTracer(tr, w.Rank(i).TraceTrack(tr))
+		}
+		if reg != nil {
+			logs[i].BindMetrics(reg, i)
 		}
 	}
 	writeTimes := make([]sim.Time, spec.NFiles) // identical across ranks (barrier-fenced)
@@ -295,6 +316,10 @@ func Run(spec Spec) (*Result, error) {
 				return nil, werr
 			}
 		}
+	}
+	if reg != nil {
+		res.Metrics = reg
+		res.MetricsSummary = reg.Text()
 	}
 	var denom sim.Time
 	for k := 0; k < spec.NFiles; k++ {

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"repro/internal/estat"
+	"repro/internal/mpe"
+	"repro/internal/sim"
+)
+
+// StatInput converts a run's outcome into the e10stat exchange format. The
+// metrics snapshot is included when the run recorded one (Spec.Metrics);
+// everything else derives from fields the harness always computes.
+func (r *Result) StatInput() estat.Input {
+	in := estat.Input{
+		Schema:       estat.Schema,
+		Workload:     r.Spec.Workload.Name(),
+		Case:         string(r.Spec.Case),
+		Cell:         r.Spec.Label(),
+		Ranks:        r.Spec.Cluster.Nodes * r.Spec.Cluster.RanksPerNode,
+		Files:        r.Spec.NFiles,
+		WallTimeNs:   int64(r.WallTime),
+		ComputeNs:    int64(r.computeTotal()),
+		TotalBytes:   r.TotalBytes,
+		BandwidthGBs: r.BandwidthGBs,
+	}
+	for _, ph := range r.Phases {
+		in.Phases = append(in.Phases, estat.PhaseTime{
+			WriteNs:     int64(ph.WriteTime),
+			CloseWaitNs: int64(ph.CloseWait),
+		})
+	}
+	// Stacking order follows the paper's breakdown figures; zero phases are
+	// kept so reports across cells stay column-aligned.
+	for _, ph := range mpe.BreakdownPhases {
+		in.Breakdown = append(in.Breakdown, estat.BreakdownEntry{
+			Phase: string(ph),
+			Ns:    int64(r.Breakdown[ph]),
+		})
+	}
+	if r.Metrics != nil {
+		snap := r.Metrics.Snapshot()
+		in.Metrics = &snap
+	}
+	return in
+}
+
+// computeTotal is the virtual time spent in emulated compute phases: one
+// ComputeDelay per file, except that IncludeLastSync (the IOR setup) drops
+// the compute phase after the final write.
+func (r *Result) computeTotal() sim.Time {
+	n := r.Spec.NFiles
+	if r.Spec.IncludeLastSync {
+		n--
+	}
+	if n < 0 {
+		n = 0
+	}
+	return r.Spec.ComputeDelay * sim.Time(n)
+}

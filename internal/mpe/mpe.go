@@ -7,7 +7,9 @@ package mpe
 
 import (
 	"sort"
+	"strconv"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -46,6 +48,9 @@ type Log struct {
 	intervals []Interval
 	tracer    *trace.Tracer
 	track     trace.TrackID
+	registry  *metrics.Registry
+	rank      string
+	hists     map[Phase]*metrics.Histogram
 }
 
 // NewLog creates an empty log.
@@ -60,6 +65,7 @@ func (l *Log) Add(ph Phase, d sim.Time) {
 	}
 	l.totals[ph] += d
 	l.counts[ph]++
+	l.phaseHist(ph).Observe(int64(d))
 }
 
 // Total returns the accumulated time in ph.
@@ -112,6 +118,36 @@ func (l *Log) BindTracer(tr *trace.Tracer, tk trace.TrackID) {
 	}
 	l.tracer = tr
 	l.track = tk
+}
+
+// BindMetrics mirrors every phase interval recorded through Span.End (and
+// direct Add calls) into a per-rank, per-phase duration histogram in the
+// given registry, labelled {layer=adio, phase=<ph>, rank=<rank>}. Like
+// BindTracer, it records values only and never perturbs virtual time.
+func (l *Log) BindMetrics(m *metrics.Registry, rank int) {
+	if l == nil || m == nil {
+		return
+	}
+	l.registry = m
+	l.rank = strconv.Itoa(rank)
+	l.hists = make(map[Phase]*metrics.Histogram)
+}
+
+// phaseHist resolves (and caches) the histogram for ph, or nil when no
+// registry is bound.
+func (l *Log) phaseHist(ph Phase) *metrics.Histogram {
+	if l == nil || l.registry == nil {
+		return nil
+	}
+	h, ok := l.hists[ph]
+	if !ok {
+		h = l.registry.Histogram("phase_ns",
+			metrics.L(metrics.KeyLayer, "adio"),
+			metrics.L(metrics.KeyPhase, string(ph)),
+			metrics.L(metrics.KeyRank, l.rank))
+		l.hists[ph] = h
+	}
+	return h
 }
 
 // Span measures one interval: s := StartSpan(now) ... s.End(log, ph, now).

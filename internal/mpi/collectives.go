@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -159,14 +160,37 @@ func (c *Comm) collCost(kind string, n int64) sim.Time {
 	}
 }
 
-// beginColl opens a tracer span on r's timeline covering one collective
-// call (both execution models route through the public wrappers).
-func (c *Comm) beginColl(r *Rank, name string) trace.Span {
-	tr := c.w.k.Tracer()
-	if tr == nil {
-		return trace.Span{}
+// collSpan covers one collective call for both observability layers: a
+// tracer span on the rank's timeline plus a latency sample in the
+// per-operation histogram.
+type collSpan struct {
+	sp trace.Span
+	h  *metrics.Histogram
+	t0 sim.Time
+}
+
+// beginColl opens a collSpan for one collective call (both execution models
+// route through the public wrappers).
+func (c *Comm) beginColl(r *Rank, name string) collSpan {
+	var cs collSpan
+	if tr := c.w.k.Tracer(); tr != nil {
+		cs.sp = tr.Begin(r.TraceTrack(tr), "mpi", name, int64(r.proc.Now()))
 	}
-	return tr.Begin(r.TraceTrack(tr), "mpi", name, int64(r.proc.Now()))
+	if m := c.w.k.Metrics(); m != nil {
+		cs.h = m.Histogram("mpi_coll_ns",
+			metrics.L(metrics.KeyLayer, "mpi"), metrics.L(metrics.KeyOp, name))
+		m.Counter("mpi_colls_total",
+			metrics.L(metrics.KeyLayer, "mpi"), metrics.L(metrics.KeyOp, name)).Inc()
+		cs.t0 = r.proc.Now()
+	}
+	return cs
+}
+
+// end closes the span at the rank's current virtual time.
+func (cs collSpan) end(r *Rank) {
+	now := r.proc.Now()
+	cs.sp.End(int64(now))
+	cs.h.Observe(int64(now - cs.t0))
 }
 
 // Op is a reduction operator over int64.
@@ -198,14 +222,14 @@ func (c *Comm) Barrier(r *Rank) {
 	} else {
 		c.sync(r, "barrier", 0, nil)
 	}
-	sp.End(int64(r.proc.Now()))
+	sp.end(r)
 }
 
 // Allreduce combines each rank's vals element-wise with op; every rank
 // receives the combined vector (MPI_Allreduce).
 func (c *Comm) Allreduce(r *Rank, vals []int64, op Op) []int64 {
 	sp := c.beginColl(r, "allreduce")
-	defer func() { sp.End(int64(r.proc.Now())) }()
+	defer func() { sp.end(r) }()
 	if c.model == MessagePassing {
 		return c.msgAllreduce(r, vals, op)
 	}
@@ -224,7 +248,7 @@ func (c *Comm) Allreduce(r *Rank, vals []int64, op Op) []int64 {
 // (MPI_Allgather / MPI_Allgatherv).
 func (c *Comm) Allgather(r *Rank, vals []int64) [][]int64 {
 	sp := c.beginColl(r, "allgather")
-	defer func() { sp.End(int64(r.proc.Now())) }()
+	defer func() { sp.end(r) }()
 	if c.model == MessagePassing {
 		return c.msgAllgather(r, vals)
 	}
@@ -242,7 +266,7 @@ func (c *Comm) Alltoall(r *Rank, send []int64) []int64 {
 		panic("mpi: alltoall send vector must have comm-size entries")
 	}
 	sp := c.beginColl(r, "alltoall")
-	defer func() { sp.End(int64(r.proc.Now())) }()
+	defer func() { sp.end(r) }()
 	if c.model == MessagePassing {
 		return c.msgAlltoall(r, send)
 	}
@@ -258,7 +282,7 @@ func (c *Comm) Alltoall(r *Rank, send []int64) []int64 {
 // Bcast distributes root's vals to every rank (MPI_Bcast).
 func (c *Comm) Bcast(r *Rank, root int, vals []int64) []int64 {
 	sp := c.beginColl(r, "bcast")
-	defer func() { sp.End(int64(r.proc.Now())) }()
+	defer func() { sp.end(r) }()
 	if c.model == MessagePassing {
 		return c.msgBcast(r, root, vals)
 	}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -166,6 +167,17 @@ func (r *Rank) Isend(dst, tag int, m Message) *Request {
 		aid = tr.AsyncBegin(r.TraceTrack(tr), "mpi", "p2p", int64(r.proc.Now()),
 			trace.I("dst", int64(dst)), trace.I("bytes", m.Size))
 	}
+	// The same lifetime — Isend to delivery — is one sample in the p2p
+	// latency histogram.
+	var p2pNs *metrics.Histogram
+	var t0 sim.Time
+	if mt := r.w.k.Metrics(); mt != nil {
+		layer := metrics.L(metrics.KeyLayer, "mpi")
+		mt.Counter("mpi_p2p_msgs_total", layer).Inc()
+		mt.Counter("mpi_p2p_bytes_total", layer).Add(m.Size)
+		p2pNs = mt.Histogram("mpi_p2p_ns", layer)
+		t0 = r.proc.Now()
+	}
 	r.w.k.Spawn(fmt.Sprintf("msg.%d->%d.t%d", r.id, dst, tag), func(p *sim.Proc) {
 		if srcNode == dstNode {
 			srcNode.LocalCopy(p, m.Size)
@@ -179,6 +191,7 @@ func (r *Rank) Isend(dst, tag int, m Message) *Request {
 		if tr != nil {
 			tr.AsyncEnd(dstRank.TraceTrack(tr), "mpi", "p2p", aid, int64(p.Now()))
 		}
+		p2pNs.Observe(int64(p.Now() - t0))
 		dstRank.deliver(&m)
 	})
 	return req

@@ -11,7 +11,9 @@ package netsim
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -87,6 +89,37 @@ type Node struct {
 	eje    *sim.Station
 	mem    *sim.Station
 	slow   float64 // link speed factor in (0, 1]; 1 = nominal
+
+	// Metric handles, registered lazily on first use (the registry may be
+	// attached to the kernel after the fabric is built).
+	mreg   bool
+	mTx    *metrics.Counter
+	mRx    *metrics.Counter
+	mCopy  *metrics.Counter
+	mInjNs *metrics.Histogram // injection-port occupancy incl. queueing
+	mEjeNs *metrics.Histogram // ejection-port occupancy incl. queueing
+	mDegr  *metrics.Counter   // SetDegraded transitions
+}
+
+// metricsOn resolves (and caches) this node's metric handles; it returns
+// false when metrics are disabled, keeping the disabled cost one branch.
+func (n *Node) metricsOn() bool {
+	m := n.fabric.k.Metrics()
+	if m == nil {
+		return false
+	}
+	if !n.mreg {
+		layer := metrics.L(metrics.KeyLayer, "netsim")
+		node := metrics.L(metrics.KeyNode, strconv.Itoa(n.id))
+		n.mTx = m.Counter("net_tx_bytes_total", layer, node)
+		n.mRx = m.Counter("net_rx_bytes_total", layer, node)
+		n.mCopy = m.Counter("net_copy_bytes_total", layer, node)
+		n.mInjNs = m.Histogram("net_inj_ns", layer, node)
+		n.mEjeNs = m.Histogram("net_eje_ns", layer, node)
+		n.mDegr = m.Counter("net_degrade_events_total", layer, node)
+		n.mreg = true
+	}
+	return true
 }
 
 // ID returns the node index.
@@ -100,6 +133,9 @@ func (n *Node) SetDegraded(factor float64) {
 		panic(fmt.Sprintf("netsim: degrade factor %v outside (0, 1]", factor))
 	}
 	n.slow = factor
+	if n.metricsOn() {
+		n.mDegr.Inc()
+	}
 }
 
 // Degraded returns the current link speed factor.
@@ -118,14 +154,29 @@ func (n *Node) stretch(d sim.Time) sim.Time {
 func (n *Node) Inject(p *sim.Proc, size int64) {
 	cfg := n.fabric.cfg
 	d := sim.Jitter(n.fabric.k.Rand(), cfg.InjJitter, cfg.InjRate.DurationFor(size))
-	n.inj.Serve(p, n.stretch(d))
+	if n.metricsOn() {
+		t0 := n.fabric.k.Now()
+		n.inj.Serve(p, n.stretch(d))
+		n.mInjNs.Observe(int64(n.fabric.k.Now() - t0))
+		n.mTx.Add(size)
+	} else {
+		n.inj.Serve(p, n.stretch(d))
+	}
 	n.inj.Bytes += size
 }
 
 // Eject occupies the node's RX port for the ejection time of size bytes.
 func (n *Node) Eject(p *sim.Proc, size int64) {
 	cfg := n.fabric.cfg
-	n.eje.Serve(p, n.stretch(cfg.EjeRate.DurationFor(size)))
+	d := n.stretch(cfg.EjeRate.DurationFor(size))
+	if n.metricsOn() {
+		t0 := n.fabric.k.Now()
+		n.eje.Serve(p, d)
+		n.mEjeNs.Observe(int64(n.fabric.k.Now() - t0))
+		n.mRx.Add(size)
+	} else {
+		n.eje.Serve(p, d)
+	}
 	n.eje.Bytes += size
 }
 
@@ -134,6 +185,9 @@ func (n *Node) Eject(p *sim.Proc, size int64) {
 func (n *Node) LocalCopy(p *sim.Proc, size int64) {
 	cfg := n.fabric.cfg
 	n.mem.ServeBytes(p, cfg.MemLatency, cfg.MemRate, size)
+	if n.metricsOn() {
+		n.mCopy.Add(size)
+	}
 }
 
 // Transfer moves size bytes from n to dst, blocking p for the full transfer:

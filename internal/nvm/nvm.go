@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/extent"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -62,6 +63,28 @@ type Device struct {
 	// Statistics.
 	BytesWritten int64
 	BytesRead    int64
+
+	// Per-operation latency histograms, registered lazily per op name.
+	mOpNs map[string]*metrics.Histogram
+}
+
+// opHist resolves the device's latency histogram for op, or nil when
+// metrics are disabled.
+func (d *Device) opHist(op string) *metrics.Histogram {
+	m := d.k.Metrics()
+	if m == nil {
+		return nil
+	}
+	h, ok := d.mOpNs[op]
+	if !ok {
+		h = m.Histogram("nvm_op_ns", metrics.L(metrics.KeyLayer, "nvm"),
+			metrics.L(metrics.KeyOp, op), metrics.L("dev", d.name))
+		if d.mOpNs == nil {
+			d.mOpNs = make(map[string]*metrics.Histogram)
+		}
+		d.mOpNs[op] = h
+	}
+	return h
 }
 
 // NewDevice creates a device on kernel k.
@@ -94,22 +117,38 @@ func (d *Device) SetNoSpace(v bool) { d.noSpace = v }
 // NoSpace reports the injected out-of-space state.
 func (d *Device) NoSpace() bool { return d.noSpace }
 
-func (d *Device) serve(p *sim.Proc, rate sim.Rate, n int64) {
+// serve charges one device command. op names the command class for the
+// per-operation latency histogram, which measures queueing plus service.
+func (d *Device) serve(p *sim.Proc, op string, rate sim.Rate, n int64) {
 	dur := d.cfg.Latency + rate.DurationFor(n)
 	dur = sim.Jitter(d.k.Rand(), d.cfg.Jitter, dur)
+	if h := d.opHist(op); h != nil {
+		t0 := d.k.Now()
+		d.ch.Serve(p, dur)
+		h.Observe(int64(d.k.Now() - t0))
+		return
+	}
 	d.ch.Serve(p, dur)
 }
 
 // write charges a write of n bytes.
 func (d *Device) write(p *sim.Proc, n int64) {
-	d.serve(p, d.cfg.WriteRate, n)
+	d.serve(p, "write", d.cfg.WriteRate, n)
 	d.BytesWritten += n
+	if m := d.k.Metrics(); m != nil {
+		m.Counter("nvm_write_bytes_total", metrics.L(metrics.KeyLayer, "nvm"),
+			metrics.L("dev", d.name)).Add(n)
+	}
 }
 
 // read charges a read of n bytes.
 func (d *Device) read(p *sim.Proc, n int64) {
-	d.serve(p, d.cfg.ReadRate, n)
+	d.serve(p, "read", d.cfg.ReadRate, n)
 	d.BytesRead += n
+	if m := d.k.Metrics(); m != nil {
+		m.Counter("nvm_read_bytes_total", metrics.L(metrics.KeyLayer, "nvm"),
+			metrics.L("dev", d.name)).Add(n)
+	}
 }
 
 // reserve claims n bytes of capacity.
@@ -125,10 +164,15 @@ func (d *Device) reserve(n int64) error {
 }
 
 // traceError marks a device-level failure on the device's trace timeline
-// (the same track its station busy spans and queue counters live on).
+// (the same track its station busy spans and queue counters live on) and in
+// the per-device error counter.
 func (d *Device) traceError(name string) {
 	if tr := d.k.Tracer(); tr != nil {
 		tr.Instant(d.ch.TraceTrack(tr), "nvm", name, int64(d.k.Now()))
+	}
+	if m := d.k.Metrics(); m != nil {
+		m.Counter("nvm_errors_total", metrics.L(metrics.KeyLayer, "nvm"),
+			metrics.L(metrics.KeyOp, name), metrics.L("dev", d.name)).Inc()
 	}
 }
 
@@ -253,7 +297,7 @@ func (f *File) Fallocate(p *sim.Proc, off, size int64) error {
 		return err
 	}
 	if f.fs.cfg.SupportsFallocate {
-		f.fs.dev.serve(p, 0, 0) // one metadata op
+		f.fs.dev.serve(p, "meta", 0, 0) // one metadata op
 		return nil
 	}
 	if grow > 0 {
@@ -282,7 +326,7 @@ func (f *File) ReadAt(p *sim.Proc, buf []byte, off, size int64) error {
 		size = int64(len(buf))
 	}
 	if f.fs.dev.failed {
-		f.fs.dev.serve(p, 0, 0)
+		f.fs.dev.serve(p, "read", 0, 0)
 		f.fs.dev.traceError("io_error")
 		return fmt.Errorf("%w: %s", ErrIO, f.fs.dev.name)
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/extent"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -79,6 +80,43 @@ type System struct {
 	factory store.Factory
 	Locks   *LockManager
 	nextTgt int
+
+	// Per-target metric handles, registered lazily.
+	mTgtNs    []*metrics.Histogram
+	mTgtBytes []*metrics.Counter
+	mTimeouts *metrics.Counter
+	mMetaOps  *metrics.Counter
+}
+
+// targetMetrics resolves (and caches) the handles for target i, returning
+// (nil, nil) when metrics are disabled.
+func (s *System) targetMetrics(i int) (*metrics.Histogram, *metrics.Counter) {
+	m := s.k.Metrics()
+	if m == nil {
+		return nil, nil
+	}
+	if s.mTgtNs == nil {
+		s.mTgtNs = make([]*metrics.Histogram, len(s.targets))
+		s.mTgtBytes = make([]*metrics.Counter, len(s.targets))
+	}
+	if s.mTgtNs[i] == nil {
+		layer := metrics.L(metrics.KeyLayer, "pfs")
+		tgt := metrics.L("target", fmt.Sprintf("tgt%d", i))
+		s.mTgtNs[i] = m.Histogram("pfs_target_ns", layer, tgt)
+		s.mTgtBytes[i] = m.Counter("pfs_target_bytes_total", layer, tgt)
+	}
+	return s.mTgtNs[i], s.mTgtBytes[i]
+}
+
+// metaServe charges one metadata round trip and counts it.
+func (s *System) metaServe(p *sim.Proc) {
+	s.meta.Serve(p, s.cfg.MetaLatency)
+	if m := s.k.Metrics(); m != nil {
+		if s.mMetaOps == nil {
+			s.mMetaOps = m.Counter("pfs_meta_ops_total", metrics.L(metrics.KeyLayer, "pfs"))
+		}
+		s.mMetaOps.Inc()
+	}
 }
 
 // targetState is the injected health of one data target.
@@ -215,7 +253,7 @@ func (s *System) NewClient(node *netsim.Node) *Client {
 // Striping takes the system defaults. The metadata server is charged.
 func (c *Client) Open(p *sim.Proc, name string, create bool, striping Striping) (*Handle, error) {
 	s := c.sys
-	s.meta.Serve(p, s.cfg.MetaLatency)
+	s.metaServe(p)
 	f, ok := s.files[name]
 	if !ok {
 		if !create {
@@ -241,7 +279,7 @@ func (c *Client) Open(p *sim.Proc, name string, create bool, striping Striping) 
 // Unlink removes a file.
 func (c *Client) Unlink(p *sim.Proc, name string) error {
 	s := c.sys
-	s.meta.Serve(p, s.cfg.MetaLatency)
+	s.metaServe(p)
 	if _, ok := s.files[name]; !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
@@ -261,7 +299,7 @@ func (h *Handle) Meta() *FileMeta { return h.meta }
 // Close releases the handle (one metadata round trip).
 func (h *Handle) Close(p *sim.Proc) {
 	s := h.client.sys
-	s.meta.Serve(p, s.cfg.MetaLatency)
+	s.metaServe(p)
 }
 
 // targetFor returns the target index storing the stripe containing off.
@@ -416,6 +454,12 @@ func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) error {
 				tr.Instant(s.targets[r.target].TraceTrack(tr), "pfs", "rpc_timeout",
 					int64(sp.Now()), trace.I("bytes", r.ext.Len))
 			}
+			if m := s.k.Metrics(); m != nil {
+				if s.mTimeouts == nil {
+					s.mTimeouts = m.Counter("pfs_rpc_timeouts_total", metrics.L(metrics.KeyLayer, "pfs"))
+				}
+				s.mTimeouts.Inc()
+			}
 			return fmt.Errorf("%w: tgt%d", ErrTargetDown, r.target)
 		}
 		d := s.cfg.TargetLatency + s.cfg.TargetRate.DurationFor(r.ext.Len)
@@ -424,7 +468,14 @@ func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) error {
 			d = sim.Time(float64(d) / ts.speed)
 		}
 		st := s.targets[r.target]
-		st.Serve(sp, d)
+		if tgtNs, tgtBytes := s.targetMetrics(r.target); tgtNs != nil {
+			t0 := sp.Now()
+			st.Serve(sp, d)
+			tgtNs.Observe(int64(sp.Now() - t0))
+			tgtBytes.Add(r.ext.Len)
+		} else {
+			st.Serve(sp, d)
+		}
 		st.Bytes += r.ext.Len
 		if !isWrite {
 			h.client.node.Eject(sp, r.ext.Len)
@@ -437,13 +488,13 @@ func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) error {
 // model, so sync has no additional data cost).
 func (h *Handle) Sync(p *sim.Proc) {
 	s := h.client.sys
-	s.meta.Serve(p, s.cfg.MetaLatency)
+	s.metaServe(p)
 }
 
 // Truncate sets the file size (one metadata round trip).
 func (h *Handle) Truncate(p *sim.Proc, size int64) {
 	s := h.client.sys
-	s.meta.Serve(p, s.cfg.MetaLatency)
+	s.metaServe(p)
 	h.meta.data.Truncate(size)
 }
 

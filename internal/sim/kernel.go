@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -53,6 +54,11 @@ type Kernel struct {
 
 	tracer *trace.Tracer
 	ktrack trace.TrackID
+
+	metrics *metrics.Registry
+	mEvents *metrics.Counter // kernel events dispatched
+	mSpawns *metrics.Counter // processes spawned
+	mWakes  *metrics.Counter // explicit wake-ups delivered
 }
 
 // NewKernel creates a kernel whose random number stream is seeded with seed.
@@ -79,6 +85,21 @@ func (k *Kernel) SetTracer(t *trace.Tracer) {
 
 // Tracer returns the attached tracer, or nil when tracing is disabled.
 func (k *Kernel) Tracer() *trace.Tracer { return k.tracer }
+
+// SetMetrics attaches a metrics registry. Metrics are off (nil) by default;
+// when attached, every layer built on this kernel reaches the registry via
+// Metrics() so instrumentation needs no extra plumbing. Like the tracer,
+// the registry records values only — it never schedules work or consumes
+// randomness, so it cannot perturb virtual time.
+func (k *Kernel) SetMetrics(m *metrics.Registry) {
+	k.metrics = m
+	k.mEvents = m.Counter("sim_events_total", metrics.L(metrics.KeyLayer, "sim"))
+	k.mSpawns = m.Counter("sim_procs_spawned_total", metrics.L(metrics.KeyLayer, "sim"))
+	k.mWakes = m.Counter("sim_wakes_total", metrics.L(metrics.KeyLayer, "sim"))
+}
+
+// Metrics returns the attached registry, or nil when metrics are disabled.
+func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
 
 // Rand returns the kernel's deterministic random number generator. It must
 // only be used from simulation processes or kernel callbacks (the simulation
@@ -113,6 +134,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	}
 	k.nextID++
 	k.live[p.id] = p
+	k.mSpawns.Inc()
 	k.tracer.Counter(k.ktrack, "live_procs", int64(k.now), int64(len(k.live)))
 	k.schedule(event{t: k.now, fn: func() { k.start(p, fn) }})
 	return p
@@ -158,6 +180,7 @@ func (k *Kernel) Run() error {
 	for k.queue.Len() > 0 {
 		ev := heap.Pop(&k.queue).(event)
 		k.now = ev.t
+		k.mEvents.Inc()
 		switch {
 		case ev.fn != nil:
 			ev.fn()
@@ -255,6 +278,7 @@ func (p *Proc) Park() {
 // called for a process that is currently parked (or about to park at the
 // same instant: wake events for same-time parks are delivered in order).
 func (k *Kernel) Wake(p *Proc) {
+	k.mWakes.Inc()
 	k.schedule(event{t: k.now, p: p})
 }
 

@@ -83,7 +83,22 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 	if len(t.counters) > 0 {
 		fmt.Fprintf(bw, "counter high-water marks:\n")
 		fmt.Fprintf(bw, "  %-38s %12s %12s %10s\n", "COUNTER", "MAX", "LAST", "SAMPLES")
-		for _, c := range t.counters {
+		// Sort by track then first sample time (ties by name): registration
+		// order depends on how runs interleave stations (faults can reorder
+		// station start between -trace and -trace-summary runs), but track
+		// and first-sample time are properties of the run itself.
+		counters := make([]counterStat, len(t.counters))
+		copy(counters, t.counters)
+		sort.Slice(counters, func(a, b int) bool {
+			if counters[a].track != counters[b].track {
+				return counters[a].track < counters[b].track
+			}
+			if counters[a].first != counters[b].first {
+				return counters[a].first < counters[b].first
+			}
+			return counters[a].name < counters[b].name
+		})
+		for _, c := range counters {
 			label := t.tracks[c.track].name + ":" + c.name
 			fmt.Fprintf(bw, "  %-38s %12d %12d %10d\n", label, c.max, c.last, c.samples)
 		}

@@ -107,6 +107,7 @@ type trackKey struct {
 type counterStat struct {
 	track   TrackID
 	name    string
+	first   int64 // virtual time of the first sample
 	last    int64
 	max     int64
 	samples int64
@@ -262,7 +263,7 @@ func (t *Tracer) Counter(tk TrackID, name string, now, val int64) {
 	i, ok := t.counterIdx[key]
 	if !ok {
 		i = len(t.counters)
-		t.counters = append(t.counters, counterStat{track: tk, name: name})
+		t.counters = append(t.counters, counterStat{track: tk, name: name, first: now})
 		t.counterIdx[key] = i
 	}
 	st := &t.counters[i]

@@ -7,6 +7,10 @@
 # The race pass defaults to -short: the heavy end-to-end shape tests guard
 # themselves with testing.Short() so the race detector finishes in seconds
 # instead of minutes. Pass -full before a release.
+#
+# When a BENCH_*.json baseline is committed, the newest one also gates the
+# run: any scenario whose virtual completion time regresses by more than 2%
+# fails (SKIP_BENCH=1 skips this pass).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -38,6 +42,18 @@ go test ./...
 echo "== go test -race $race_flags ./..."
 # shellcheck disable=SC2086 # race_flags is intentionally word-split
 go test -race -count=1 $race_flags ./...
+
+if [ "${SKIP_BENCH:-}" = "1" ]; then
+    echo "== bench-compare skipped (SKIP_BENCH=1)"
+else
+    base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+    if [ -n "$base" ]; then
+        echo "== bench-compare vs $base (>2% virtual-time regression fails)"
+        go run ./cmd/e10bench -bench-compare "$base"
+    else
+        echo "== bench-compare skipped (no BENCH_*.json baseline)"
+    fi
+fi
 
 echo "== coverage gate (>= ${cover_min}% of statements)"
 profile=$(mktemp)
