@@ -1,6 +1,6 @@
 # Tier-1 gate plus static, race and coverage checks; see scripts/check.sh.
 .PHONY: check check-full test build vet fmt-check cover trace-demo \
-	bench-record bench-compare
+	bench-record bench-compare chaos chaos-smoke
 
 build:
 	go build ./...
@@ -25,6 +25,18 @@ cover:
 # open the file with https://ui.perfetto.dev (byte-reproducible per seed).
 trace-demo:
 	go run ./cmd/e10bench -trace trace.json -scale 8x4 -files 2
+
+# Deterministic chaos soak: 200 seeded workload/fault scenarios checked
+# against the end-to-end integrity oracles (byte conservation, lost acks,
+# journal idempotence, lock release, liveness, trace/metrics consistency).
+# The report is byte-identical per (seed, iters); a failure is shrunk to a
+# minimal replayable chaos_repro.json (replay: e10chaos -replay <file>).
+chaos:
+	go run ./cmd/e10chaos -iters 200 -seed 1
+
+# The quick variant check.sh runs on every gate.
+chaos-smoke:
+	go run ./cmd/e10chaos -iters 25 -seed 1
 
 # Run the fixed 18-scenario regression matrix and commit the baseline.
 # The simulation is deterministic, so the file is reproducible per seed.

@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+var regen = flag.Bool("regen", false, "rewrite the testdata repro fixtures")
+
+// fixtures is the committed reproducer corpus: one scenario per invariant
+// class, each sabotaged by the injection its oracle must catch. The files
+// under testdata/ are real chaos_repro.json files — `e10chaos -replay`
+// accepts them unchanged.
+func fixtures() []struct {
+	file string
+	note string
+	sc   Scenario
+} {
+	return []struct {
+		file string
+		note string
+		sc   Scenario
+	}{
+		{
+			file: "conservation.json",
+			note: "node 1 crashes mid-write, then every dirty-extent journal is dropped: the crashed ranks' unsynced bytes are unaccounted for",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 1,
+				Faults:    []Action{{Kind: fault.CrashNode, Node: 1, FromUS: 10_000}},
+				Injection: "lose-journal",
+			},
+		},
+		{
+			file: "lost_ack.json",
+			note: "durable bytes corrupted under a write whose rank saw no error: the acknowledgement was a lie",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeContiguous, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 1,
+				Injection: "lost-ack",
+			},
+		},
+		{
+			file: "idempotence.json",
+			note: "cache payload corrupted between two journal replays: recovering twice diverges from recovering once",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 3,
+				Faults:    []Action{{Kind: fault.CrashNode, Node: 1, FromUS: 10_000}},
+				Injection: "corrupt-replay",
+			},
+		},
+		{
+			file: "lock_release.json",
+			note: "a byte-range lock on the global file is taken during the run and never released",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeStrided, BlockKB: 64, Blocks: 2,
+				Mode: "coherent", FlushFlag: "flush_immediate", Sessions: 1,
+				Injection: "leak-lock",
+			},
+		},
+		{
+			file: "liveness.json",
+			note: "a runaway process re-arms forever; the event-budget watchdog must abort the run",
+			sc: Scenario{
+				Seed: 42, Nodes: 1, PerNode: 2,
+				Shape: ShapeContiguous, BlockKB: 16, Blocks: 1,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 1,
+				EventBudget: 100_000,
+				Injection:   "stall",
+			},
+		},
+		{
+			file: "trace_metrics.json",
+			note: "retry counter bumped without a matching traced retry: one observability layer lies",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 1,
+				Shape: ShapeContiguous, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_adaptive", Sessions: 1,
+				Injection: "miscount-retry",
+			},
+		},
+	}
+}
+
+// TestReproFixturesReplay replays every committed reproducer and checks the
+// recorded verdict reproduces exactly, and that it includes the invariant
+// the fixture's injection targets. Run with -regen to rewrite the corpus.
+func TestReproFixturesReplay(t *testing.T) {
+	if *regen {
+		for _, fx := range fixtures() {
+			res := mustExecute(t, fx.sc)
+			if !res.Failed() {
+				t.Fatalf("%s: fixture scenario does not fail", fx.file)
+			}
+			data, err := NewRepro(res, fx.note).Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", fx.file)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s: %v", path, res.ViolatedInvariants())
+		}
+	}
+	for _, fx := range fixtures() {
+		fx := fx
+		t.Run(fx.file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", fx.file))
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/chaos -run Fixtures -regen` to regenerate)", err)
+			}
+			rp, err := ParseRepro(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, match, err := Replay(rp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !match {
+				t.Fatalf("verdict did not reproduce: recorded %v, replayed %v",
+					rp.Verdict, res.ViolatedInvariants())
+			}
+			want := Trips(rp.Scenario.Injection)
+			found := false
+			for _, inv := range rp.Verdict {
+				if inv == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("fixture verdict %v misses the injection's target invariant %q",
+					rp.Verdict, want)
+			}
+		})
+	}
+}
+
+// TestFixtureCorpusCoversEveryInvariant pins the corpus contract: at least
+// one committed reproducer per invariant class.
+func TestFixtureCorpusCoversEveryInvariant(t *testing.T) {
+	covered := map[string]bool{}
+	for _, fx := range fixtures() {
+		covered[Trips(fx.sc.Injection)] = true
+	}
+	for _, inv := range Invariants {
+		if !covered[inv] {
+			t.Errorf("no fixture covers invariant %q", inv)
+		}
+	}
+	if len(fixtures()) < 5 {
+		t.Errorf("corpus has %d fixtures, want >= 5", len(fixtures()))
+	}
+}

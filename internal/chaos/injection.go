@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"repro/internal/extent"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// Injections deliberately sabotage a run so the oracle that should catch
+// the sabotage can be regression-tested (the committed repro fixtures pin
+// one injection per invariant class). They model the bug classes the
+// explorer exists to find; a checker that stays green under its injection
+// is a checker that would miss the real bug.
+type injPhase int
+
+const (
+	phasePreRun   injPhase = iota // before the kernel runs
+	phaseSession1                 // rank 0, right after the first open
+	phaseStaging                  // rank 0, between the two recoveries
+	phasePostRun                  // after the kernel, before the oracles
+)
+
+// injections maps each injection name to the phase it fires in and the
+// invariant it must trip.
+var injections = map[string]struct {
+	phase injPhase
+	trips string
+}{
+	// Drop every retained journal: a crashed rank's unsynced bytes become
+	// untraceable — byte conservation must notice the hole.
+	"lose-journal": {phasePostRun, InvConservation},
+	// Corrupt durable bytes of a rank that was told everything succeeded.
+	"lost-ack": {phasePostRun, InvLostAck},
+	// Corrupt the cache payload between the two replays: the second replay
+	// writes different bytes, so recover-twice != recover-once.
+	"corrupt-replay": {phaseStaging, InvIdempotence},
+	// Take a byte-range lock on the global file and never release it.
+	"leak-lock": {phaseSession1, InvLockRelease},
+	// Spin a process that re-arms forever: the event queue never drains
+	// and the liveness watchdog must abort the run.
+	"stall": {phasePreRun, InvLiveness},
+	// Bump the retry counter without a matching traced retry.
+	"miscount-retry": {phasePostRun, InvTraceMetrics},
+}
+
+// Trips returns the invariant an injection is designed to violate ("" for
+// unknown names); fixtures and self-tests assert against it.
+func Trips(injection string) string { return injections[injection].trips }
+
+// applyInjection fires the scenario's injection if it belongs to phase.
+// mr is the acting rank for in-run phases.
+func applyInjection(r *run, phase injPhase, mr ...*mpi.Rank) {
+	inj, ok := injections[r.sc.Injection]
+	if !ok || inj.phase != phase {
+		return
+	}
+	switch r.sc.Injection {
+	case "lose-journal":
+		for _, key := range r.cl.CoreEnv.JournalKeys() {
+			r.cl.CoreEnv.ClearJournal(key)
+		}
+	case "lost-ack":
+		// Flip durable bytes under the first acked write of a rank that
+		// saw no error — its ack is now a lie.
+		meta := r.cl.FS.Lookup(FilePath)
+		if meta == nil {
+			return
+		}
+		for _, rec := range r.acked {
+			if r.rankErr[rec.rank] != "" {
+				continue
+			}
+			n := rec.ext.Len
+			if n > 64 {
+				n = 64
+			}
+			junk := make([]byte, n)
+			for i := range junk {
+				junk[i] = ^pattern(rec.rank, rec.ext.Off+int64(i))
+			}
+			meta.Store().WriteAt(junk, rec.ext.Off, n)
+			return
+		}
+	case "corrupt-replay":
+		// One byte of cache payload under the first re-staged journal
+		// extent; the second replay propagates it to the global file.
+		for _, key := range r.idemKeys {
+			exts := r.idemJ[key]
+			if len(exts) == 0 {
+				continue
+			}
+			for rank, k := range r.journalKey {
+				if k != key {
+					continue
+				}
+				cf, err := r.cl.NVMs[r.cacheNode[rank]].Open(r.cacheName[rank], false)
+				if err != nil {
+					continue
+				}
+				off := exts[0].Off
+				b := []byte{^pattern(rank, off)}
+				cf.Store().WriteAt(b, off, 1)
+				return
+			}
+		}
+	case "leak-lock":
+		// An extent far past the workload so the leak never blocks anyone.
+		r.cl.FS.Locks.Acquire(mr[0].Proc(), FilePath, pfs.WriteLock,
+			extent.Extent{Off: 1 << 40, Len: 4096})
+	case "stall":
+		r.cl.Kernel.Spawn("chaos.stall", func(p *sim.Proc) {
+			for {
+				p.Sleep(10 * sim.Microsecond)
+			}
+		})
+	case "miscount-retry":
+		r.mreg.Counter("cache_sync_retries_total", metrics.L(metrics.KeyLayer, "core")).Inc()
+	}
+}

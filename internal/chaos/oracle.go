@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/extent"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// checkGranularity is the subrange size at which missing/corrupt bytes are
+// attributed during conservation checking.
+const checkGranularity = 4 << 10
+
+// check runs every oracle against the finished simulation and assembles
+// the Result. Violations are appended in fixed invariant order, so two
+// runs of the same scenario produce byte-identical results.
+func (r *run) check() *Result {
+	applyInjection(r, phasePostRun)
+	res := &Result{
+		Scenario:  r.sc,
+		WallNS:    int64(r.cl.Kernel.Now()),
+		Events:    r.cl.Kernel.EventsDispatched(),
+		AckedOps:  len(r.acked),
+		Fallbacks: r.fallbacks,
+	}
+	add := func(inv, format string, args ...interface{}) {
+		res.Violations = append(res.Violations, Violation{
+			Invariant: inv, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Liveness first: if the kernel aborted, the remaining oracles would
+	// report a half-finished world's state, which is noise, not signal.
+	if r.runErr != nil {
+		add(InvLiveness, "run did not terminate cleanly: %v", r.runErr)
+		return res
+	}
+
+	r.checkConservation(add)
+	r.checkIdempotence(add)
+	r.checkLockRelease(add)
+	r.checkTraceMetrics(add)
+	return res
+}
+
+// checkConservation enforces the two durability invariants over every
+// acknowledged write, comparing the global file against the in-memory
+// reference oracle:
+//
+//   - lost_ack: a rank that was never told about any error must find every
+//     byte it wrote durable in the global file, payload-identical.
+//   - byte_conservation: a rank that WAS told about an error may have
+//     non-durable bytes, but each such byte must still be accounted for —
+//     journalled for recovery with the payload intact in the retained
+//     cache file. Bytes in neither place are silently lost.
+func (r *run) checkConservation(add func(inv, format string, args ...interface{})) {
+	meta := r.cl.FS.Lookup(FilePath)
+	var durable *extent.Set
+	if meta != nil {
+		durable = meta.Store().Written()
+	} else {
+		durable = &extent.Set{}
+	}
+	// Per-rank journal cover and cache payload reader, built lazily.
+	journals := map[int]*extent.Set{}
+	journalFor := func(rank int) *extent.Set {
+		if s, ok := journals[rank]; ok {
+			return s
+		}
+		s := &extent.Set{}
+		if key := r.journalKey[rank]; key != "" {
+			for _, e := range r.cl.CoreEnv.JournalExtents(key) {
+				s.Add(e)
+			}
+		}
+		journals[rank] = s
+		return s
+	}
+	cacheBytes := func(rank int, off, n int64) []byte {
+		name := r.cacheName[rank]
+		if name == "" {
+			return nil
+		}
+		cf, err := r.cl.NVMs[r.cacheNode[rank]].Open(name, false)
+		if err != nil {
+			return nil
+		}
+		buf := make([]byte, n)
+		cf.Store().ReadAt(buf, off)
+		return buf
+	}
+
+	for _, rec := range r.acked {
+		want := make([]byte, rec.ext.Len)
+		r.ref.ReadAt(want, rec.ext.Off)
+		got := make([]byte, rec.ext.Len)
+		if meta != nil {
+			meta.Store().ReadAt(got, rec.ext.Off)
+		}
+		if durable.Covers(rec.ext) && bytes.Equal(want, got) {
+			continue // fully durable, payload-identical
+		}
+		if r.rankErr[rec.rank] == "" {
+			add(InvLostAck,
+				"rank %d write [%d,+%d) acked with no surfaced error, but bytes are not durable in %s",
+				rec.rank, rec.ext.Off, rec.ext.Len, FilePath)
+			continue
+		}
+		// The rank saw an error; every non-durable subrange must still be
+		// recoverable: journalled, with matching payload in the cache file.
+		j := journalFor(rec.rank)
+		for off := rec.ext.Off; off < rec.ext.End(); off += checkGranularity {
+			n := rec.ext.End() - off
+			if n > checkGranularity {
+				n = checkGranularity
+			}
+			lo := off - rec.ext.Off
+			if durable.Covers(extent.Extent{Off: off, Len: n}) && bytes.Equal(want[lo:lo+n], got[lo:lo+n]) {
+				continue
+			}
+			if !j.Covers(extent.Extent{Off: off, Len: n}) {
+				add(InvConservation,
+					"rank %d bytes [%d,+%d) neither durable nor journalled (rank error: %s)",
+					rec.rank, off, n, r.rankErr[rec.rank])
+				break
+			}
+			if cb := cacheBytes(rec.rank, off, n); cb == nil || !bytes.Equal(cb, want[lo:lo+n]) {
+				add(InvConservation,
+					"rank %d bytes [%d,+%d) journalled but cache payload lost or corrupt",
+					rec.rank, off, n)
+				break
+			}
+		}
+	}
+}
+
+// checkIdempotence compares the global file's bytes over the crash
+// session's journal before and after the second replay.
+func (r *run) checkIdempotence(add func(inv, format string, args ...interface{})) {
+	if !r.staged {
+		return
+	}
+	if !bytes.Equal(r.idemA, r.idemB) {
+		i := 0
+		for i < len(r.idemA) && r.idemA[i] == r.idemB[i] {
+			i++
+		}
+		add(InvIdempotence,
+			"global file differs after second journal replay (first diff at journal byte %d of %d)",
+			i, len(r.idemA))
+	}
+}
+
+// checkLockRelease verifies no byte-range lock outlives the run.
+func (r *run) checkLockRelease(add func(inv, format string, args ...interface{})) {
+	if held := r.cl.FS.Locks.HeldLocks(FilePath); held != 0 {
+		add(InvLockRelease, "%d byte-range lock(s) on %s still held after the run", held, FilePath)
+	}
+}
+
+// checkTraceMetrics cross-checks the three independent records of sync
+// retries: traced retry instants, the metrics counter, and the per-cache
+// stats. Any divergence means one observability layer lies.
+func (r *run) checkTraceMetrics(add func(inv, format string, args ...interface{})) {
+	var traced int64
+	for _, ev := range r.tracer.Events() {
+		if ev.Kind == trace.KindInstant && ev.Name == "sync_retry" {
+			traced++
+		}
+	}
+	counted := r.mreg.Counter("cache_sync_retries_total", metrics.L(metrics.KeyLayer, "core")).Total()
+	var stats int64
+	for _, c := range r.caches {
+		stats += c.Stats.SyncRetries
+	}
+	if traced != counted || counted != stats {
+		add(InvTraceMetrics,
+			"sync retries disagree: %d traced instants, %d in cache_sync_retries_total, %d in cache stats",
+			traced, counted, stats)
+	}
+}

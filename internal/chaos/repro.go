@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+)
+
+// ReproVersion is bumped when the repro file format changes incompatibly.
+const ReproVersion = 1
+
+// Repro is the replayable reproducer format (chaos_repro.json): the exact
+// scenario plus the verdict it produced. Replay re-executes the scenario
+// and checks the verdict still holds — committed repro files are living
+// regression tests for the invariant checkers themselves.
+type Repro struct {
+	Version  int      `json:"version"`
+	Scenario Scenario `json:"scenario"`
+	// Verdict is the sorted list of violated invariants; empty means the
+	// scenario passed (useful to pin known-clean schedules too).
+	Verdict []string `json:"verdict"`
+	Note    string   `json:"note,omitempty"`
+}
+
+// NewRepro captures a result as a reproducer.
+func NewRepro(res *Result, note string) *Repro {
+	return &Repro{
+		Version:  ReproVersion,
+		Scenario: res.Scenario,
+		Verdict:  res.ViolatedInvariants(),
+		Note:     note,
+	}
+}
+
+// Marshal renders the repro as stable, indented JSON.
+func (rp *Repro) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(rp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ParseRepro decodes and validates a repro file.
+func ParseRepro(data []byte) (*Repro, error) {
+	var rp Repro
+	if err := json.Unmarshal(data, &rp); err != nil {
+		return nil, fmt.Errorf("chaos: bad repro file: %w", err)
+	}
+	if rp.Version != ReproVersion {
+		return nil, fmt.Errorf("chaos: repro version %d, want %d", rp.Version, ReproVersion)
+	}
+	if err := rp.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	return &rp, nil
+}
+
+// Replay re-executes the repro's scenario exactly and reports whether the
+// recorded verdict reproduced.
+func Replay(rp *Repro) (*Result, bool, error) {
+	res, err := Execute(rp.Scenario)
+	if err != nil {
+		return nil, false, err
+	}
+	got := res.ViolatedInvariants()
+	want := rp.Verdict
+	if want == nil {
+		want = []string{}
+	}
+	if got == nil {
+		got = []string{}
+	}
+	return res, reflect.DeepEqual(got, want), nil
+}

@@ -1,0 +1,328 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adio"
+	"repro/internal/core"
+	"repro/internal/extent"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// FilePath is the shared global file every scenario writes.
+const FilePath = "chaos.dat"
+
+// Violation is one oracle failure.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// The invariant registry. Every violation names one of these.
+const (
+	InvConservation = "byte_conservation"   // every acked byte durable or journalled
+	InvLostAck      = "lost_ack"            // success reported, bytes gone
+	InvIdempotence  = "journal_idempotence" // recover twice == recover once
+	InvLockRelease  = "lock_release"        // no byte-range lock survives the run
+	InvLiveness     = "liveness"            // the run terminates (no deadlock/livelock)
+	InvTraceMetrics = "trace_metrics"       // retry counters match traced retries
+)
+
+// Invariants lists every checked invariant, in report order.
+var Invariants = []string{
+	InvConservation, InvLostAck, InvIdempotence,
+	InvLockRelease, InvLiveness, InvTraceMetrics,
+}
+
+// Result is one executed scenario's verdict.
+type Result struct {
+	Scenario   Scenario    `json:"scenario"`
+	Violations []Violation `json:"violations"`
+	WallNS     int64       `json:"wall_ns"`
+	Events     int64       `json:"events"`
+	AckedOps   int         `json:"acked_ops"`
+	Fallbacks  int         `json:"fallbacks"`
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// ViolatedInvariants returns the sorted, deduplicated invariant names.
+func (r *Result) ViolatedInvariants() []string {
+	seen := map[string]bool{}
+	for _, v := range r.Violations {
+		seen[v.Invariant] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeRec records one acknowledged (error-free) WriteContig.
+type writeRec struct {
+	rank int
+	ext  extent.Extent
+}
+
+// run carries one scenario's execution state from setup through oracles.
+type run struct {
+	sc     Scenario
+	cl     *harness.Cluster
+	tracer *trace.Tracer
+	mreg   *metrics.Registry
+	ref    store.Store // in-memory reference file: what SHOULD be durable
+
+	live   []map[*core.Cache]bool // per node: caches currently open
+	caches []*core.Cache          // every cache ever installed
+
+	acked      []writeRec
+	rankErr    []string // first surfaced error per rank ("" = clean run)
+	cacheName  []string // per rank: cache file path ("" if never cached)
+	cacheNode  []int    // per rank: node index
+	journalKey []string // per rank: journal registry key
+
+	idemKeys []string                   // journal keys snapshotted after the crash session
+	idemJ    map[string][]extent.Extent // their extents
+	idemA    []byte                     // PFS bytes over idemJ after first recovery
+	idemB    []byte                     // ... after second recovery
+	staged   bool                       // idempotence probe actually ran
+
+	fallbacks int   // recovery opens that reverted to the standard path
+	runErr    error // kernel verdict: nil, deadlock, or event budget
+}
+
+// pattern computes the chaos workload's deterministic payload byte for an
+// absolute file offset written by rank.
+func pattern(rank int, off int64) byte {
+	return byte(int64(rank)*151 + off*11 + 29)
+}
+
+func patternBuf(rank int, off, size int64) []byte {
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = pattern(rank, off+int64(i))
+	}
+	return buf
+}
+
+// Execute runs one scenario end to end — build the cluster, arm the fault
+// schedule, run every session, then check every oracle — and returns its
+// verdict. It errors only on an invalid scenario; invariant failures are
+// reported in the Result.
+func Execute(sc Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	r := &run{sc: sc}
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+	r.simulate()
+	return r.check(), nil
+}
+
+// setup assembles the cluster, observability, crash hook and fault
+// schedule.
+func (r *run) setup() error {
+	cfg := harness.Scaled(r.sc.Seed, r.sc.Nodes, r.sc.PerNode)
+	cfg.Payload = true // oracles compare real bytes
+	r.cl = harness.NewCluster(cfg)
+	r.tracer = trace.New()
+	r.mreg = metrics.New()
+	r.cl.Kernel.SetTracer(r.tracer)
+	r.cl.Kernel.SetMetrics(r.mreg)
+	budget := r.sc.EventBudget
+	if budget <= 0 {
+		budget = DefaultEventBudget
+	}
+	r.cl.Kernel.SetEventBudget(budget)
+
+	r.ref = store.NewMem()
+	ranks := r.sc.ranks()
+	r.rankErr = make([]string, ranks)
+	r.cacheName = make([]string, ranks)
+	r.cacheNode = make([]int, ranks)
+	r.journalKey = make([]string, ranks)
+	r.live = make([]map[*core.Cache]bool, r.sc.Nodes)
+	for i := range r.live {
+		r.live[i] = make(map[*core.Cache]bool)
+	}
+	r.cl.OnCrash = func(node int) {
+		for c := range r.live[node] {
+			c.Crash()
+		}
+	}
+	if _, err := r.cl.ArmFaults(r.sc.Schedule()); err != nil {
+		return fmt.Errorf("chaos: arming schedule: %w", err)
+	}
+	applyInjection(r, phasePreRun)
+	return nil
+}
+
+// fail records a surfaced error for rank (first error wins — it is the one
+// the application would have acted on).
+func (r *run) fail(rank int, session string, err error) {
+	if err != nil && r.rankErr[rank] == "" {
+		r.rankErr[rank] = session + ": " + err.Error()
+	}
+}
+
+// open performs one collective open with the scenario's hints. recovery
+// selects the e10_cache_recovery + retain-cache hint set used by sessions
+// 2 and 3.
+func (r *run) open(mr *mpi.Rank, recovery bool) (*adio.File, error) {
+	info := mpi.Info{
+		adio.HintCBWrite:   "enable",
+		core.HintCache:     r.sc.Mode,
+		core.HintFlushFlag: r.sc.FlushFlag,
+	}
+	if recovery {
+		info[core.HintCacheRecovery] = "enable"
+		info[core.HintDiscardFlag] = "disable"
+	} else if !r.sc.Discard {
+		info[core.HintDiscardFlag] = "disable"
+	}
+	f, err := adio.OpenColl(mr, adio.OpenArgs{
+		Comm: r.cl.World.Comm(), Registry: r.cl.Env.Registry,
+		Path: FilePath, Create: true, Info: info,
+		Hooks: r.cl.CoreEnv.HooksFactory(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := f.InstalledHooks().(*core.Cache); ok && c != nil {
+		node := mr.Node().ID()
+		r.live[node][c] = true
+		r.caches = append(r.caches, c)
+		r.cacheName[mr.ID()] = c.Name()
+		r.cacheNode[mr.ID()] = node
+		r.journalKey[mr.ID()] = c.JournalKey()
+	}
+	return f, nil
+}
+
+// close closes f and unregisters its cache from the crash registry.
+func (r *run) close(f *adio.File, mr *mpi.Rank) error {
+	c, _ := f.InstalledHooks().(*core.Cache)
+	err := f.Close()
+	if c != nil {
+		delete(r.live[mr.Node().ID()], c)
+	}
+	return err
+}
+
+// simulate runs every session of the scenario inside one kernel run. All
+// ranks execute the same collective structure unconditionally — OpenColl
+// contains barriers, so the session count must be scenario-driven, never
+// runtime-state-driven.
+func (r *run) simulate() {
+	sc := r.sc
+	comm := r.cl.World.Comm()
+	r.runErr = r.cl.World.Run(func(mr *mpi.Rank) {
+		me := mr.ID()
+
+		// Session 1: the write workload.
+		f, err := r.open(mr, false)
+		if err != nil {
+			r.fail(me, "open", err)
+		} else {
+			if me == 0 {
+				applyInjection(r, phaseSession1, mr)
+			}
+			for b := 0; b < sc.Blocks; b++ {
+				off := sc.offsetFor(me, b)
+				size := sc.blockSize()
+				data := patternBuf(me, off, size)
+				if werr := f.WriteContig(data, off, size); werr != nil {
+					r.fail(me, "write", werr)
+				} else {
+					r.acked = append(r.acked, writeRec{rank: me, ext: extent.Extent{Off: off, Len: size}})
+					r.ref.WriteAt(data, off, size)
+				}
+			}
+			if cerr := r.close(f, mr); cerr != nil {
+				r.fail(me, "close", cerr)
+			}
+		}
+		if sc.Sessions < 2 {
+			return
+		}
+
+		// Session 2: recovery open. Rank 0 snapshots the crash session's
+		// journals between two barriers, before any rank can replay them.
+		comm.Barrier(mr)
+		if me == 0 && sc.Sessions >= 3 {
+			r.idemKeys = r.cl.CoreEnv.JournalKeys()
+			r.idemJ = make(map[string][]extent.Extent, len(r.idemKeys))
+			for _, k := range r.idemKeys {
+				r.idemJ[k] = r.cl.CoreEnv.JournalExtents(k)
+			}
+		}
+		comm.Barrier(mr)
+		r.runSession(mr, "recover1")
+		if sc.Sessions < 3 {
+			return
+		}
+
+		// Session 3: re-stage the journal (modelling a crash that lost the
+		// journal trim after the data was already durable) and recover
+		// again. The global file must come out byte-identical.
+		comm.Barrier(mr)
+		if me == 0 && len(r.idemKeys) > 0 {
+			r.idemA = r.snapshotPFS()
+			for _, k := range r.idemKeys {
+				r.cl.CoreEnv.RestoreJournal(k, r.idemJ[k])
+			}
+			applyInjection(r, phaseStaging)
+			r.staged = true
+		}
+		comm.Barrier(mr)
+		r.runSession(mr, "recover2")
+		comm.Barrier(mr)
+		if me == 0 && r.staged {
+			r.idemB = r.snapshotPFS()
+		}
+	})
+}
+
+// runSession performs one recovery open/close round.
+func (r *run) runSession(mr *mpi.Rank, tag string) {
+	f, err := r.open(mr, true)
+	if err != nil {
+		r.fail(mr.ID(), tag+"/open", err)
+		return
+	}
+	if f.Stats.CacheFallback {
+		r.fallbacks++
+	}
+	if err := r.close(f, mr); err != nil {
+		r.fail(mr.ID(), tag+"/close", err)
+	}
+}
+
+// snapshotPFS reads the global file's bytes over every snapshotted journal
+// extent, in deterministic (key, extent) order.
+func (r *run) snapshotPFS() []byte {
+	var out []byte
+	meta := r.cl.FS.Lookup(FilePath)
+	for _, k := range r.idemKeys {
+		for _, e := range r.idemJ[k] {
+			buf := make([]byte, e.Len)
+			if meta != nil {
+				meta.Store().ReadAt(buf, e.Off)
+			}
+			out = append(out, buf...)
+		}
+	}
+	return out
+}

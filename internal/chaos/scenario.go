@@ -1,0 +1,263 @@
+// Package chaos is a deterministic chaos/soak harness for the simulated E10
+// stack, in the style of FoundationDB's simulation testing: a seeded
+// explorer generates randomized-but-reproducible scenarios — collective
+// workload shapes crossed with fault schedules over every modelled hardware
+// layer — runs each through the full cluster, and checks a registry of
+// end-to-end integrity oracles (byte conservation against an in-memory
+// reference file, no lost acknowledgements, journal-replay idempotence,
+// lock release on every error path, virtual-time liveness, trace/metrics
+// cross-consistency). A failing scenario is shrunk to a minimal reproducer
+// and serialized as a replayable chaos_repro.json.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// Workload shapes: how the ranks' write extents tile the shared file.
+const (
+	// ShapeContiguous gives each rank one private contiguous region.
+	ShapeContiguous = "contiguous"
+	// ShapeInterleaved interleaves block b of rank r at (b*R + r) blocks.
+	ShapeInterleaved = "interleaved"
+	// ShapeStrided strides each rank's blocks with holes between rounds.
+	ShapeStrided = "strided"
+)
+
+// Action is one scheduled fault in a scenario, a JSON-serializable mirror
+// of fault.Fault with microsecond times.
+type Action struct {
+	Kind   fault.Kind `json:"kind"`
+	Node   int        `json:"node,omitempty"`
+	Target int        `json:"target,omitempty"`
+	Factor float64    `json:"factor,omitempty"`
+	FromUS int64      `json:"from_us"`
+	ToUS   int64      `json:"to_us,omitempty"` // 0 = permanent
+}
+
+// String renders the action like the fault engine renders its faults.
+func (a Action) String() string { return a.fault().String() }
+
+func (a Action) fault() fault.Fault {
+	return fault.Fault{
+		Kind: a.Kind, Node: a.Node, Target: a.Target, Factor: a.Factor,
+		From: sim.Time(a.FromUS) * sim.Microsecond,
+		To:   sim.Time(a.ToUS) * sim.Microsecond,
+	}
+}
+
+// Scenario is one randomized-but-reproducible chaos experiment: a workload
+// shape plus hint combination crossed with a fault schedule. Scenarios are
+// value types; the JSON form is the replay format.
+type Scenario struct {
+	Seed    int64 `json:"seed"` // kernel seed: full hardware determinism
+	Nodes   int   `json:"nodes"`
+	PerNode int   `json:"ranks_per_node"`
+
+	Shape   string `json:"shape"`
+	BlockKB int64  `json:"block_kb"`
+	Blocks  int    `json:"blocks"` // write calls per rank
+
+	Mode      string `json:"cache_mode"` // enable | coherent
+	FlushFlag string `json:"flush_flag"` // flush_immediate | flush_onclose | flush_adaptive
+	Discard   bool   `json:"discard"`
+
+	// Sessions: 1 = write only; 2 = write then a recovery open
+	// (e10_cache_recovery); 3 = additionally re-stage the journal and
+	// recover again, probing replay idempotence.
+	Sessions int `json:"sessions"`
+
+	Faults []Action `json:"faults,omitempty"`
+
+	// EventBudget bounds the kernel's dispatched events (liveness
+	// watchdog); 0 uses DefaultEventBudget.
+	EventBudget int64 `json:"event_budget,omitempty"`
+
+	// Injection deliberately sabotages the run so the oracles themselves
+	// can be regression-tested (see injection.go). Empty for real soaks.
+	Injection string `json:"injection,omitempty"`
+}
+
+// DefaultEventBudget bounds one scenario's kernel events. Clean scenarios
+// dispatch a few tens of thousands; hitting this means a livelock.
+const DefaultEventBudget = 2_000_000
+
+// ranks returns the world size.
+func (sc *Scenario) ranks() int { return sc.Nodes * sc.PerNode }
+
+// blockSize returns the per-write byte count.
+func (sc *Scenario) blockSize() int64 { return sc.BlockKB << 10 }
+
+// offsetFor places block b of rank r in the shared file; extents are
+// disjoint across all (rank, block) pairs for every shape.
+func (sc *Scenario) offsetFor(rank, b int) int64 {
+	bs := sc.blockSize()
+	R := int64(sc.ranks())
+	switch sc.Shape {
+	case ShapeInterleaved:
+		return (int64(b)*R + int64(rank)) * bs
+	case ShapeStrided:
+		// One hole block between successive rounds of the rank grid.
+		return (int64(b)*(R+1) + int64(rank)) * bs
+	default: // contiguous
+		return (int64(rank)*int64(sc.Blocks) + int64(b)) * bs
+	}
+}
+
+// Schedule converts the scenario's actions into an armable fault schedule.
+func (sc *Scenario) Schedule() *fault.Schedule {
+	s := &fault.Schedule{}
+	for _, a := range sc.Faults {
+		f := a.fault()
+		var c *fault.Clause
+		if f.To > 0 {
+			c = s.Between(f.From, f.To)
+		} else {
+			c = s.At(f.From)
+		}
+		switch a.Kind {
+		case fault.FailDevice:
+			c.FailDevice(a.Node)
+		case fault.DeviceENOSPC:
+			c.DeviceENOSPC(a.Node)
+		case fault.FailTarget:
+			c.FailTarget(a.Target)
+		case fault.DegradeTarget:
+			c.DegradeTarget(a.Target, a.Factor)
+		case fault.DegradeLink:
+			c.DegradeLink(a.Node, a.Factor)
+		case fault.CrashNode:
+			c.CrashNode(a.Node)
+		}
+	}
+	return s
+}
+
+// Validate checks the scenario's internal consistency: workload bounds,
+// known enum values, fault locations within the cluster, and a valid fault
+// schedule. It reports the first problem found.
+func (sc *Scenario) Validate() error {
+	switch {
+	case sc.Nodes < 1 || sc.Nodes > 8:
+		return fmt.Errorf("chaos: nodes %d outside [1,8]", sc.Nodes)
+	case sc.PerNode < 1 || sc.PerNode > 4:
+		return fmt.Errorf("chaos: ranks_per_node %d outside [1,4]", sc.PerNode)
+	case sc.BlockKB < 4 || sc.BlockKB > 1024:
+		return fmt.Errorf("chaos: block_kb %d outside [4,1024]", sc.BlockKB)
+	case sc.Blocks < 1 || sc.Blocks > 16:
+		return fmt.Errorf("chaos: blocks %d outside [1,16]", sc.Blocks)
+	case sc.Sessions < 1 || sc.Sessions > 3:
+		return fmt.Errorf("chaos: sessions %d outside [1,3]", sc.Sessions)
+	}
+	switch sc.Shape {
+	case ShapeContiguous, ShapeInterleaved, ShapeStrided:
+	default:
+		return fmt.Errorf("chaos: unknown shape %q", sc.Shape)
+	}
+	switch sc.Mode {
+	case "enable", "coherent":
+	default:
+		return fmt.Errorf("chaos: unknown cache_mode %q", sc.Mode)
+	}
+	switch sc.FlushFlag {
+	case "flush_immediate", "flush_onclose", "flush_adaptive":
+	default:
+		return fmt.Errorf("chaos: unknown flush_flag %q", sc.FlushFlag)
+	}
+	for i, a := range sc.Faults {
+		switch a.Kind {
+		case fault.FailDevice, fault.DeviceENOSPC, fault.DegradeLink, fault.CrashNode:
+			if a.Node < 0 || a.Node >= sc.Nodes {
+				return fmt.Errorf("chaos: fault %d (%s): node %d outside cluster", i, a, a.Node)
+			}
+		case fault.FailTarget, fault.DegradeTarget:
+			// Target count fixed by pfs.DefaultConfig (4 targets).
+			if a.Target < 0 || a.Target >= 4 {
+				return fmt.Errorf("chaos: fault %d (%s): target %d outside PFS", i, a, a.Target)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, a.Kind)
+		}
+	}
+	if err := sc.Schedule().Validate(); err != nil {
+		return err
+	}
+	if sc.Injection != "" {
+		if _, ok := injections[sc.Injection]; !ok {
+			return fmt.Errorf("chaos: unknown injection %q", sc.Injection)
+		}
+	}
+	return nil
+}
+
+// Generate draws one scenario from rng. The same rng state always yields
+// the same scenario, which is what makes a whole soak replayable from one
+// master seed. The generated scenario always validates.
+func Generate(rng *rand.Rand) Scenario {
+	sc := Scenario{
+		Nodes:     1 + rng.Intn(3),
+		PerNode:   1 + rng.Intn(2),
+		Shape:     []string{ShapeContiguous, ShapeInterleaved, ShapeStrided}[rng.Intn(3)],
+		BlockKB:   []int64{16, 64, 128, 256}[rng.Intn(4)],
+		Blocks:    1 + rng.Intn(4),
+		Mode:      "enable",
+		FlushFlag: []string{"flush_immediate", "flush_onclose", "flush_adaptive"}[rng.Intn(3)],
+		Discard:   rng.Intn(2) == 0,
+		Sessions:  1,
+	}
+	if rng.Intn(10) < 3 {
+		sc.Mode = "coherent"
+	}
+	switch r := rng.Intn(10); {
+	case r < 3: // crash + recovery
+		sc.Sessions = 2
+	case r < 5: // crash + recovery + idempotence probe
+		sc.Sessions = 3
+	}
+	if sc.Sessions > 1 {
+		// A recovery scenario needs something to recover from: crash one
+		// node somewhere inside the write phase.
+		sc.Faults = append(sc.Faults, Action{
+			Kind: fault.CrashNode, Node: rng.Intn(sc.Nodes),
+			FromUS: int64(1000 + rng.Intn(40_000)),
+		})
+	}
+	// Sprinkle 0..3 additional hardware faults, dropping any candidate that
+	// would make the schedule invalid (same-kind overlap).
+	for n := rng.Intn(4); n > 0; n-- {
+		a := randomAction(rng, sc.Nodes)
+		sc.Faults = append(sc.Faults, a)
+		if sc.Schedule().Validate() != nil {
+			sc.Faults = sc.Faults[:len(sc.Faults)-1]
+		}
+	}
+	return sc
+}
+
+// randomAction draws one non-crash fault action.
+func randomAction(rng *rand.Rand, nodes int) Action {
+	kinds := []fault.Kind{
+		fault.FailDevice, fault.DeviceENOSPC, fault.FailTarget,
+		fault.DegradeTarget, fault.DegradeLink,
+	}
+	a := Action{Kind: kinds[rng.Intn(len(kinds))]}
+	a.FromUS = int64(500 + rng.Intn(60_000))
+	if rng.Intn(2) == 0 {
+		// Transient window, 1..50 ms wide.
+		a.ToUS = a.FromUS + int64(1000+rng.Intn(50_000))
+	}
+	switch a.Kind {
+	case fault.FailDevice, fault.DeviceENOSPC, fault.DegradeLink:
+		a.Node = rng.Intn(nodes)
+	case fault.FailTarget, fault.DegradeTarget:
+		a.Target = rng.Intn(4)
+	}
+	if a.Kind == fault.DegradeTarget || a.Kind == fault.DegradeLink {
+		a.Factor = 0.2 + 0.7*rng.Float64()
+	}
+	return a
+}

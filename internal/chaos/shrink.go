@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ShrinkResult records a minimization: the minimal scenario still failing
+// (at least one of) the original invariants, and how many executions the
+// search spent.
+type ShrinkResult struct {
+	Minimal    Scenario `json:"minimal"`
+	Invariants []string `json:"invariants"` // of the original failure
+	Evals      int      `json:"evals"`
+}
+
+// Shrink minimizes a failing scenario to a minimal reproducer: the fault
+// schedule is reduced ddmin-style (remove halves, then quarters, down to
+// single actions), then the workload is bisected (blocks, block size, rank
+// count, session count). A candidate counts as "still failing" when it
+// violates at least one invariant the original violated — shrinking must
+// not wander onto a different bug. Shrink errors if sc does not fail.
+func Shrink(sc Scenario) (*ShrinkResult, error) {
+	base, err := Execute(sc)
+	if err != nil {
+		return nil, err
+	}
+	if !base.Failed() {
+		return nil, fmt.Errorf("chaos: scenario does not fail; nothing to shrink")
+	}
+	target := map[string]bool{}
+	for _, inv := range base.ViolatedInvariants() {
+		target[inv] = true
+	}
+	evals := 1
+	stillFails := func(c Scenario) bool {
+		if c.Validate() != nil {
+			return false
+		}
+		res, err := Execute(c)
+		evals++
+		if err != nil {
+			return false
+		}
+		for _, inv := range res.ViolatedInvariants() {
+			if target[inv] {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := sc
+	cur.Faults = ddminFaults(cur, stillFails)
+	cur = shrinkWorkload(cur, stillFails)
+	// Workload reduction may have unblocked further schedule reduction.
+	cur.Faults = ddminFaults(cur, stillFails)
+
+	return &ShrinkResult{
+		Minimal:    cur,
+		Invariants: base.ViolatedInvariants(),
+		Evals:      evals,
+	}, nil
+}
+
+// ddminFaults removes fault actions in progressively smaller windows
+// (halves first, then quarters, down to single actions), keeping any
+// removal that preserves the failure.
+func ddminFaults(sc Scenario, stillFails func(Scenario) bool) []Action {
+	faults := append([]Action(nil), sc.Faults...)
+	for window := len(faults); window >= 1; {
+		removed := false
+		for start := 0; start+window <= len(faults); start++ {
+			cand := sc
+			cand.Faults = append(append([]Action(nil), faults[:start]...), faults[start+window:]...)
+			if stillFails(cand) {
+				faults = cand.Faults
+				removed = true
+				// Restart this window size on the shorter list.
+				start = -1
+			}
+		}
+		if !removed || window > len(faults) {
+			window /= 2
+			if window > len(faults) {
+				window = len(faults)
+			}
+		}
+	}
+	return faults
+}
+
+// shrinkWorkload bisects the workload dimensions to a fixpoint, trying the
+// cheapest reductions first.
+func shrinkWorkload(sc Scenario, stillFails func(Scenario) bool) Scenario {
+	for changed := true; changed; {
+		changed = false
+		try := func(mutate func(*Scenario)) {
+			cand := sc
+			cand.Faults = append([]Action(nil), sc.Faults...)
+			mutate(&cand)
+			if scKey(cand) != scKey(sc) && stillFails(cand) {
+				sc = cand
+				changed = true
+			}
+		}
+		if sc.Blocks > 1 {
+			try(func(c *Scenario) { c.Blocks /= 2 })
+		}
+		if sc.BlockKB > 4 {
+			try(func(c *Scenario) {
+				c.BlockKB /= 2
+				if c.BlockKB < 4 {
+					c.BlockKB = 4
+				}
+			})
+		}
+		if sc.Sessions > 1 {
+			try(func(c *Scenario) { c.Sessions-- })
+		}
+		if sc.PerNode > 1 {
+			try(func(c *Scenario) { c.PerNode = 1 })
+		}
+		if sc.Nodes > 1 {
+			try(func(c *Scenario) {
+				// Can only drop nodes no fault refers to.
+				max := 0
+				for _, a := range c.Faults {
+					if n := nodeRef(a); n > max {
+						max = n
+					}
+				}
+				if max+1 < c.Nodes {
+					c.Nodes = max + 1
+				}
+			})
+		}
+	}
+	return sc
+}
+
+// scKey renders the scenario minus its fault slice, so two candidates can
+// be compared by workload value (Scenario itself is not comparable).
+func scKey(sc Scenario) string {
+	sc.Faults = nil
+	out, _ := json.Marshal(sc)
+	return string(out)
+}
+
+// nodeRef returns the node index an action pins, -1 for target-scoped
+// actions.
+func nodeRef(a Action) int {
+	switch a.Kind {
+	case "fail-target", "degrade-target":
+		return -1
+	}
+	return a.Node
+}

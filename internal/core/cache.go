@@ -366,6 +366,17 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 	tr.Instant(tk, "cache", "cache_write", int64(r.Now()),
 		trace.I("off", off), trace.I("bytes", size))
 
+	// The lock acquisition and the device write both block, so the node may
+	// have crashed underneath us. The bytes are in the cache file and the
+	// journal (they will be recovered), but there is no sync thread left to
+	// complete a request — posting one would park the rank forever at flush.
+	if c.crashed {
+		if lock != nil {
+			c.env.Locks.Unlock(lock)
+		}
+		return false, ErrCrashed
+	}
+
 	if c.env.SkipSync {
 		if lock != nil {
 			c.env.Locks.Unlock(lock)
@@ -499,6 +510,10 @@ func (c *Cache) Crash() {
 		if req.lock != nil {
 			c.env.Locks.Unlock(req.lock)
 		}
+		// Never submitted, so the sync thread cannot complete it; complete
+		// it here so any Wait on the handle returns instead of parking
+		// forever. (Submitted requests are completed by syncer.crash.)
+		req.greq.CompleteWithError(ErrCrashed)
 	}
 	c.pending = nil
 	c.outstanding = nil
@@ -571,14 +586,17 @@ func (st *syncThread) stop() {
 	st.cond.Signal()
 }
 
-// crash kills the thread immediately: queued requests are dropped without
-// completing (the node is gone), their locks released.
+// crash kills the thread immediately: queued requests abort (the node is
+// gone), their locks are released, and their request handles complete with
+// ErrCrashed — a rank already parked in AtFlush waiting on one of them must
+// wake and observe the crash, not deadlock the whole run.
 func (st *syncThread) crash() {
 	st.crashed = true
 	for _, req := range st.queue {
 		if req.lock != nil {
 			st.c.env.Locks.Unlock(req.lock)
 		}
+		req.greq.CompleteWithError(ErrCrashed)
 	}
 	st.queue = nil
 	st.cond.Signal()
@@ -614,11 +632,13 @@ func (st *syncThread) run(p *sim.Proc) {
 			c.mExtentNs.Observe(int64(p.Now() - extT0))
 		}
 		if st.crashed {
-			// The node died mid-extent: abandon the request (nobody is
-			// left to observe it) but don't leak its lock.
+			// The node died mid-extent: abort the request without leaking
+			// its lock, and complete the handle with ErrCrashed so a rank
+			// parked in AtFlush waiting on it wakes instead of deadlocking.
 			if req.lock != nil {
 				c.env.Locks.Unlock(req.lock)
 			}
+			req.greq.CompleteWithError(ErrCrashed)
 			return
 		}
 		// The lock is released whether the sync succeeded or aborted —

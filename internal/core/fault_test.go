@@ -210,6 +210,274 @@ func TestCrashRecoveryReplaysJournalWithVerification(t *testing.T) {
 	}
 }
 
+func TestCrashDuringFlushWaitDoesNotDeadlock(t *testing.T) {
+	// Found by the chaos explorer (fixture crash_flush_deadlock): the node
+	// crashes while the rank is already parked in Flush waiting on a sync
+	// request. The dying sync thread must complete abandoned requests with
+	// ErrCrashed so the waiter wakes — before the fix it dropped them
+	// silently and the whole run deadlocked.
+	rg := newRig(t, 1, 1, store.NewNull)
+	err := rg.w.Run(func(r *mpi.Rank) {
+		f := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "coherent", HintFlushFlag: "flush_immediate",
+		})
+		// Two extents: one will be mid-sync at crash time, one still queued.
+		if err := f.WriteContig(nil, 0, 32<<20); err != nil {
+			t.Error(err)
+		}
+		if err := f.WriteContig(nil, 32<<20, 32<<20); err != nil {
+			t.Error(err)
+		}
+		c := f.InstalledHooks().(*Cache)
+		// 64 MB of sync takes >100 ms; the crash lands mid-flush-wait.
+		rg.k.After(5*sim.Millisecond, c.Crash)
+		if err := f.Flush(); !errors.Is(err, ErrCrashed) {
+			t.Errorf("flush interrupted by crash: got %v, want ErrCrashed", err)
+		}
+		if held := rg.fs.Locks.HeldLocks("global.dat"); held != 0 {
+			t.Errorf("crash mid-flush leaked %d coherent locks", held)
+		}
+		if c.Outstanding() != 0 {
+			t.Errorf("%d sync requests left incomplete after crash", c.Outstanding())
+		}
+	})
+	// A dropped request would park the rank forever and surface here as a
+	// kernel deadlock error.
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashDuringCacheWriteDoesNotStrandRequest(t *testing.T) {
+	// Found by the chaos explorer: the crash fires while the rank is blocked
+	// inside the cache-device write. The write must not post a sync request
+	// to the dead sync thread (nothing would ever complete it); it returns
+	// ErrCrashed with the coherent lock released, and the bytes stay
+	// journalled for recovery.
+	rg := newRig(t, 1, 1, store.NewNull)
+	err := rg.w.Run(func(r *mpi.Rank) {
+		f := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "coherent", HintFlushFlag: "flush_onclose",
+		})
+		c := f.InstalledHooks().(*Cache)
+		// A 32 MB cache write blocks the rank for ~64 ms; crash at 5 ms.
+		rg.k.After(5*sim.Millisecond, c.Crash)
+		if err := f.WriteContig(nil, 0, 32<<20); !errors.Is(err, ErrCrashed) {
+			t.Errorf("write spanning the crash: got %v, want ErrCrashed", err)
+		}
+		if held := rg.fs.Locks.HeldLocks("global.dat"); held != 0 {
+			t.Errorf("crashed write leaked %d locks", held)
+		}
+		if c.Outstanding() != 0 {
+			t.Errorf("%d sync requests stranded on the dead sync thread", c.Outstanding())
+		}
+		if c.Dirty().Len() == 0 {
+			t.Error("bytes that reached the cache must stay journalled for recovery")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFaultDeviceDiesDuringReplay(t *testing.T) {
+	// Satellite audit: SSD failure *during* journal replay (double fault —
+	// the node already crashed once, and its device dies while the next
+	// open is replaying the journal). The open must fall back to the
+	// standard path with no lock held and no sync thread left behind, and
+	// the journal must survive for yet another attempt.
+	rg := newRig(t, 1, 1, store.NewNull)
+	err := rg.w.Run(func(r *mpi.Rank) {
+		f1 := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "coherent", HintFlushFlag: "flush_onclose",
+		})
+		if err := f1.WriteContig(nil, 0, 1<<20); err != nil {
+			t.Error(err)
+		}
+		f1.InstalledHooks().(*Cache).Crash()
+		r.Compute(sim.Millisecond)
+
+		// The device dies; the recovery open's first cache read hits ErrIO.
+		rg.nvms[0].Device().SetFailed(true)
+		f2, err := adio.OpenColl(r, adio.OpenArgs{
+			Comm: rg.w.Comm(), Registry: rg.reg, Path: "global.dat", Create: true,
+			Info: mpi.Info{
+				adio.HintCBWrite: "enable", HintCache: "coherent", HintCacheRecovery: "enable",
+			},
+			Hooks: rg.env.HooksFactory(),
+		})
+		if err != nil {
+			t.Errorf("open must fall back, not fail: %v", err)
+			return
+		}
+		if !f2.Stats.CacheFallback {
+			t.Error("failed recovery must revert to the standard path")
+		}
+		if f2.InstalledHooks() != nil {
+			t.Error("no cache hooks must be installed after fallback")
+		}
+		if held := rg.fs.Locks.HeldLocks("global.dat"); held != 0 {
+			t.Errorf("aborted replay leaked %d locks", held)
+		}
+		if len(rg.env.JournalKeys()) == 0 {
+			t.Error("journal must survive the failed replay for a later attempt")
+		}
+		// The fallback file still works end to end.
+		if err := f2.WriteContig(nil, 2<<20, 1<<20); err != nil {
+			t.Errorf("write on fallback path: %v", err)
+		}
+		if err := f2.Close(); err != nil {
+			t.Errorf("close on fallback path: %v", err)
+		}
+	})
+	// A leaked sync-thread proc would park forever and fail the run here.
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFaultENOSPCDuringReplayStillRecovers(t *testing.T) {
+	// The ENOSPC flavour of the double fault is benign by design: journal
+	// replay only *reads* the cache file, and a full device still serves
+	// reads. Recovery must succeed; only later cache writes fall through.
+	rg := newRigSeed(t, 1, 1, 1, store.NewMem)
+	err := rg.w.Run(func(r *mpi.Rank) {
+		f1 := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "enable", HintFlushFlag: "flush_onclose",
+		})
+		if err := f1.WriteContig(nil, 0, 1<<20); err != nil {
+			t.Error(err)
+		}
+		f1.InstalledHooks().(*Cache).Crash()
+		r.Compute(sim.Millisecond)
+
+		rg.nvms[0].Device().SetNoSpace(true)
+		f2, err := adio.OpenColl(r, adio.OpenArgs{
+			Comm: rg.w.Comm(), Registry: rg.reg, Path: "global.dat", Create: true,
+			Info: mpi.Info{
+				adio.HintCBWrite: "enable", HintCache: "enable", HintCacheRecovery: "enable",
+			},
+			Hooks: rg.env.HooksFactory(),
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c2, _ := f2.InstalledHooks().(*Cache)
+		if c2 == nil {
+			t.Error("ENOSPC must not abort recovery (reads are unaffected)")
+			return
+		}
+		if c2.Stats.RecoveredBytes != 1<<20 {
+			t.Errorf("recovered %d bytes, want %d", c2.Stats.RecoveredBytes, 1<<20)
+		}
+		// New writes can't allocate cache space: they must write through.
+		if err := f2.WriteContig(nil, 2<<20, 64<<10); err != nil {
+			t.Errorf("write-through on full device: %v", err)
+		}
+		if c2.Stats.WriteThroughs == 0 {
+			t.Error("full device must be visible as a write-through")
+		}
+		if err := f2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.fs.TotalBytesWritten() < 1<<20 {
+		t.Fatalf("global FS got %d bytes, want the recovered 1 MB", rg.fs.TotalBytesWritten())
+	}
+}
+
+func TestRecoveryReplayIsIdempotent(t *testing.T) {
+	// Replaying the same journal twice must leave the global file
+	// byte-identical to replaying it once — the idempotence oracle the
+	// chaos harness is seeded with. The second replay models a crash that
+	// interrupted journal trimming after the data had already reached the
+	// global file.
+	const size = 1 << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*13%251 + 1)
+	}
+	rg := newRigSeed(t, 1, 1, 1, store.NewMem)
+	var afterOnce, afterTwice []byte
+	err := rg.w.Run(func(r *mpi.Rank) {
+		// Session 1: cache the write, crash before any sync.
+		f1 := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "enable", HintFlushFlag: "flush_onclose",
+		})
+		if err := f1.WriteContig(data, 128<<10, size); err != nil {
+			t.Error(err)
+		}
+		f1.InstalledHooks().(*Cache).Crash()
+		r.Compute(sim.Millisecond)
+
+		keys := rg.env.JournalKeys()
+		if len(keys) != 1 {
+			t.Errorf("journal keys = %v, want exactly one", keys)
+			return
+		}
+		journalled := rg.env.JournalExtents(keys[0])
+
+		// Session 2: first recovery. Keep the cache file (discard=disable)
+		// so the re-staged journal has payload to replay from.
+		recInfo := mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "enable",
+			HintCacheRecovery: "enable", HintDiscardFlag: "disable",
+		}
+		open := func() *adio.File {
+			f, err := adio.OpenColl(r, adio.OpenArgs{
+				Comm: rg.w.Comm(), Registry: rg.reg, Path: "global.dat", Create: true,
+				Info: recInfo, Hooks: rg.env.HooksFactory(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		}
+		snapshot := func() []byte {
+			meta := rg.fs.Lookup("global.dat")
+			if meta == nil {
+				t.Fatal("global file missing")
+			}
+			buf := make([]byte, size)
+			meta.Store().ReadAt(buf, 128<<10)
+			return buf
+		}
+
+		f2 := open()
+		if c := f2.InstalledHooks().(*Cache); c.Stats.RecoveredBytes != size {
+			t.Errorf("first replay recovered %d bytes, want %d", c.Stats.RecoveredBytes, size)
+		}
+		if err := f2.Close(); err != nil {
+			t.Error(err)
+		}
+		afterOnce = snapshot()
+
+		// The journal's clearing is "lost": re-stage it and recover again.
+		rg.env.RestoreJournal(keys[0], journalled)
+		f3 := open()
+		if c := f3.InstalledHooks().(*Cache); c.Stats.RecoveredBytes != size {
+			t.Errorf("second replay recovered %d bytes, want %d", c.Stats.RecoveredBytes, size)
+		}
+		if err := f3.Close(); err != nil {
+			t.Error(err)
+		}
+		afterTwice = snapshot()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(afterOnce, data) {
+		t.Fatal("first recovery did not reproduce the crashed session's bytes")
+	}
+	if !bytes.Equal(afterOnce, afterTwice) {
+		t.Fatal("recover-twice differs from recover-once: replay is not idempotent")
+	}
+}
+
 func TestRetryHintsConfigureBudget(t *testing.T) {
 	// A zero retry limit fails fast: one attempt, no retries.
 	rg := newRig(t, 1, 1, store.NewNull)

@@ -44,6 +44,12 @@ const (
 	DegradeTarget Kind = "degrade-target"
 	// DegradeLink scales node N's NIC bandwidth by Factor.
 	DegradeLink Kind = "degrade-link"
+	// CrashNode kills node N's cache layer mid-run (the paper's §III node
+	// failure): open cache files stop syncing, in-flight requests complete
+	// with ErrCrashed, and the cache file plus its journal survive on the
+	// NVM device for a later e10_cache_recovery open. A crash never
+	// reverts, so it only accepts at= times.
+	CrashNode Kind = "crash-node"
 )
 
 // Fault is one scheduled fault. From is when it is applied; To, when
@@ -138,6 +144,12 @@ func (c *Clause) DegradeLink(node int, factor float64) *Clause {
 	return c.add(Fault{Kind: DegradeLink, Node: node, Factor: factor})
 }
 
+// CrashNode kills node's cache layer. Only valid on At clauses (a crash
+// does not revert); Validate rejects it inside a Between window.
+func (c *Clause) CrashNode(node int) *Clause {
+	return c.add(Fault{Kind: CrashNode, Node: node})
+}
+
 // Parse builds a schedule from a textual spec: semicolon-separated clauses
 // of comma-separated fields, e.g.
 //
@@ -159,7 +171,7 @@ func Parse(spec string) (*Schedule, error) {
 		fields := strings.Split(clause, ",")
 		f := Fault{Kind: Kind(strings.TrimSpace(fields[0])), Factor: 1}
 		switch f.Kind {
-		case FailDevice, DeviceENOSPC, FailTarget, DegradeTarget, DegradeLink:
+		case FailDevice, DeviceENOSPC, FailTarget, DegradeTarget, DegradeLink, CrashNode:
 		default:
 			return nil, fmt.Errorf("fault: unknown kind %q in clause %q", f.Kind, clause)
 		}
@@ -222,12 +234,68 @@ func Parse(spec string) (*Schedule, error) {
 		if (f.Kind == DegradeTarget || f.Kind == DegradeLink) && f.Factor == 1 {
 			return nil, fmt.Errorf("fault: clause %q needs factor= in (0,1)", clause)
 		}
+		if f.Kind == CrashNode && (haveFrom || f.To > 0) {
+			return nil, fmt.Errorf("fault: clause %q: crash-node takes at= only (a crash does not revert)", clause)
+		}
 		s.faults = append(s.faults, f)
 	}
 	if len(s.faults) == 0 {
 		return nil, errors.New("fault: empty schedule")
 	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// location identifies what a fault acts on, for overlap detection: faults of
+// the same kind on the same location must not have overlapping windows.
+func (f Fault) location() int {
+	if f.Kind == FailTarget || f.Kind == DegradeTarget {
+		return f.Target
+	}
+	return f.Node
+}
+
+// Validate checks the schedule's internal consistency independent of any
+// hardware: every action must have a non-negative start, a window (when
+// present) that ends after it starts, a factor in (0,1] for degrade kinds,
+// no revert window on crash-node, and no two actions of the same kind on
+// the same node/target with overlapping active windows (a permanent fault,
+// To == 0, is active forever). Errors name the offending action index so a
+// generated schedule can be debugged from the message alone. Arm and Parse
+// call this; builders that assemble schedules directly can call it early.
+func (s *Schedule) Validate() error {
+	for i, f := range s.faults {
+		if f.From < 0 {
+			return fmt.Errorf("fault: action %d (%s): negative start time %v", i, f, f.From)
+		}
+		if f.To < 0 {
+			return fmt.Errorf("fault: action %d (%s): negative end time %v", i, f, f.To)
+		}
+		if f.To > 0 && f.To <= f.From {
+			return fmt.Errorf("fault: action %d (%s): window ends at or before it starts", i, f)
+		}
+		if (f.Kind == DegradeTarget || f.Kind == DegradeLink) && (f.Factor <= 0 || f.Factor > 1) {
+			return fmt.Errorf("fault: action %d (%s): factor %v outside (0,1]", i, f, f.Factor)
+		}
+		if f.Kind == CrashNode && f.To > 0 {
+			return fmt.Errorf("fault: action %d (%s): crash-node cannot revert (no to= window)", i, f)
+		}
+	}
+	for i := 0; i < len(s.faults); i++ {
+		for j := i + 1; j < len(s.faults); j++ {
+			a, b := s.faults[i], s.faults[j]
+			if a.Kind != b.Kind || a.location() != b.location() {
+				continue
+			}
+			// Active windows: [From, To), with To == 0 meaning forever.
+			if (a.To == 0 || b.From < a.To) && (b.To == 0 || a.From < b.To) {
+				return fmt.Errorf("fault: action %d (%s) overlaps action %d (%s)", i, a, j, b)
+			}
+		}
+	}
+	return nil
 }
 
 // Targets names the hardware a schedule is armed against. Any field may be
@@ -239,6 +307,10 @@ type Targets struct {
 	PFS *pfs.System
 	// Net is the cluster interconnect.
 	Net *netsim.Fabric
+	// Crash kills node's cache layer (CrashNode). Leave nil when the
+	// deployment has no crashable cache; arming a crash-node fault then
+	// fails at validate time instead of silently doing nothing.
+	Crash func(node int)
 }
 
 // Stat records one fault's lifecycle for the report.
@@ -262,6 +334,9 @@ type Injector struct {
 func Arm(k *sim.Kernel, s *Schedule, tg Targets) (*Injector, error) {
 	if s.Empty() {
 		return &Injector{}, nil
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	inj := &Injector{stats: make([]Stat, len(s.faults))}
 	for i, f := range s.faults {
@@ -335,6 +410,10 @@ func validate(f Fault, tg Targets) error {
 			return fmt.Errorf("fault: %s: node %d out of range (%d nodes)",
 				f.Kind, f.Node, tg.Net.Nodes())
 		}
+	case CrashNode:
+		if tg.Crash == nil {
+			return fmt.Errorf("fault: %s: no crash hook wired", f.Kind)
+		}
 	}
 	if f.Kind == DegradeTarget || f.Kind == DegradeLink {
 		if f.Factor <= 0 || f.Factor > 1 {
@@ -365,6 +444,10 @@ func apply(f Fault, tg Targets, on bool) {
 			factor = 1
 		}
 		tg.Net.Node(f.Node).SetDegraded(factor)
+	case CrashNode:
+		if on { // a crash never reverts
+			tg.Crash(f.Node)
+		}
 	}
 }
 

@@ -181,6 +181,190 @@ func TestArmValidatesEagerly(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Schedule
+		want  string // substring the error must contain
+	}{
+		{
+			name: "negative start",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.faults = append(s.faults, Fault{Kind: FailDevice, Node: 0, From: -sim.Second})
+				return s
+			},
+			want: "action 0",
+		},
+		{
+			name: "negative end",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.faults = append(s.faults, Fault{Kind: FailDevice, Node: 0, From: sim.Second, To: -sim.Second})
+				return s
+			},
+			want: "action 0",
+		},
+		{
+			name: "window ends before start",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.faults = append(s.faults, Fault{Kind: FailTarget, Target: 1, From: 2 * sim.Second, To: sim.Second})
+				return s
+			},
+			want: "action 0",
+		},
+		{
+			name: "overlapping windows same kind same node",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.Between(1*sim.Second, 5*sim.Second).FailDevice(0)
+				s.Between(3*sim.Second, 7*sim.Second).FailDevice(0)
+				return s
+			},
+			want: "action 0 (fail-device(n0)@1.000s-5.000s) overlaps action 1",
+		},
+		{
+			name: "window overlapping permanent fault",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.At(1 * sim.Second).DeviceENOSPC(2)
+				s.Between(10*sim.Second, 11*sim.Second).DeviceENOSPC(2)
+				return s
+			},
+			want: "overlaps action 1",
+		},
+		{
+			name: "two permanent faults same location",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.At(1 * sim.Second).FailTarget(3)
+				s.At(9 * sim.Second).FailTarget(3)
+				return s
+			},
+			want: "overlaps",
+		},
+		{
+			name: "double crash same node",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.At(1 * sim.Second).CrashNode(0)
+				s.At(2 * sim.Second).CrashNode(0)
+				return s
+			},
+			want: "overlaps",
+		},
+		{
+			name: "crash with revert window",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.Between(1*sim.Second, 2*sim.Second).CrashNode(0)
+				return s
+			},
+			want: "cannot revert",
+		},
+		{
+			name: "bad degrade factor",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.At(0).DegradeLink(0, 1.5)
+				return s
+			},
+			want: "factor",
+		},
+	}
+	for _, tc := range cases {
+		err := tc.build().Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %q, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateAcceptsDisjointAndCrossKind(t *testing.T) {
+	s := &Schedule{}
+	s.Between(1*sim.Second, 2*sim.Second).FailDevice(0)
+	s.Between(2*sim.Second, 3*sim.Second).FailDevice(0)   // back-to-back, no overlap
+	s.Between(1*sim.Second, 5*sim.Second).DeviceENOSPC(0) // same node, other kind
+	s.Between(1*sim.Second, 5*sim.Second).FailDevice(1)   // same kind, other node
+	s.At(10 * sim.Second).FailDevice(0)                   // permanent after windows end
+	s.At(3 * sim.Second).CrashNode(1)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestParseCrashNode(t *testing.T) {
+	s, err := Parse("crash-node,node=1,at=4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := s.Faults()
+	if len(fs) != 1 || fs[0].Kind != CrashNode || fs[0].Node != 1 || fs[0].From != 4*sim.Second || fs[0].To != 0 {
+		t.Fatalf("parsed %+v", fs)
+	}
+	if got := fs[0].String(); got != "crash-node(n1)@4.000s" {
+		t.Errorf("String() = %q", got)
+	}
+	for _, spec := range []string{
+		"crash-node,node=0,from=1s,to=2s",                 // crashes do not revert
+		"crash-node,node=0,at=1s;crash-node,node=0,at=2s", // double crash
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) must fail", spec)
+		}
+	}
+}
+
+func TestArmCrashNodeFiresOnce(t *testing.T) {
+	k := sim.NewKernel(1)
+	tg := testTargets(k)
+	var crashed []int
+	tg.Crash = func(node int) { crashed = append(crashed, node) }
+	s := &Schedule{}
+	s.At(2 * sim.Millisecond).CrashNode(1)
+	inj, err := Arm(k, s, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("idle", func(p *sim.Proc) { p.Sleep(10 * sim.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(crashed) != 1 || crashed[0] != 1 {
+		t.Fatalf("crash calls = %v, want [1]", crashed)
+	}
+	if st := inj.Stats()[0]; !st.Applied || st.AppliedAt != 2*sim.Millisecond {
+		t.Fatalf("stat = %+v", st)
+	}
+}
+
+func TestArmCrashNodeRequiresHook(t *testing.T) {
+	k := sim.NewKernel(1)
+	tg := testTargets(k) // no Crash hook wired
+	s := &Schedule{}
+	s.At(sim.Second).CrashNode(0)
+	if _, err := Arm(k, s, tg); err == nil {
+		t.Fatal("Arm must reject crash-node without a crash hook")
+	}
+}
+
+func TestArmRejectsOverlapNamingIndex(t *testing.T) {
+	k := sim.NewKernel(1)
+	tg := testTargets(k)
+	s := &Schedule{}
+	s.Between(1*sim.Second, 4*sim.Second).FailTarget(2)
+	s.Between(2*sim.Second, 3*sim.Second).FailTarget(2)
+	_, err := Arm(k, s, tg)
+	if err == nil || !strings.Contains(err.Error(), "action 0") || !strings.Contains(err.Error(), "action 1") {
+		t.Fatalf("Arm error = %v, want overlap naming actions 0 and 1", err)
+	}
+}
+
 func TestReportIsDeterministic(t *testing.T) {
 	run := func() string {
 		k := sim.NewKernel(42)

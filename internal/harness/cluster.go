@@ -71,6 +71,12 @@ type Cluster struct {
 	Env     *mpiio.Env
 	CoreEnv *core.Env
 	BB      *burst.Pool // nil unless Cfg.BurstBuffer is set
+
+	// OnCrash handles crash-node faults: it receives the dying node's index
+	// and must kill that node's cache layer (internal/chaos registers the
+	// node's open caches here). Left nil, arming a crash-node fault fails
+	// validation instead of silently doing nothing.
+	OnCrash func(node int)
 }
 
 // NewCluster builds the machine: kernel, fabric, global file system with
@@ -131,8 +137,9 @@ func (cl *Cluster) FaultTargets() fault.Targets {
 			}
 			return cl.NVMs[n].Device()
 		},
-		PFS: cl.FS,
-		Net: cl.Fabric,
+		PFS:   cl.FS,
+		Net:   cl.Fabric,
+		Crash: cl.OnCrash,
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -38,14 +39,22 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
+// ErrEventBudget is wrapped by the error Run returns when the liveness
+// watchdog armed via SetEventBudget trips: the simulation dispatched more
+// events than the budget allows, which in a finite workload means a
+// livelock (an unbounded retry loop, a ping-pong wake cycle, ...).
+var ErrEventBudget = errors.New("sim: event budget exhausted")
+
 // Kernel is a discrete-event simulation engine. The zero value is not usable;
 // create kernels with NewKernel.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	rng    *rand.Rand
-	nextID int
+	now        Time
+	seq        uint64
+	queue      eventHeap
+	rng        *rand.Rand
+	nextID     int
+	budget     int64 // max events Run may dispatch; 0 = unlimited
+	dispatched int64
 
 	live    map[int]*Proc // all spawned, unfinished processes
 	yield   chan struct{} // process -> kernel: "I blocked or finished"
@@ -100,6 +109,18 @@ func (k *Kernel) SetMetrics(m *metrics.Registry) {
 
 // Metrics returns the attached registry, or nil when metrics are disabled.
 func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
+
+// SetEventBudget arms the liveness watchdog: Run aborts with an error
+// wrapping ErrEventBudget once more than n events have been dispatched
+// over the kernel's lifetime. A finite simulated workload dispatches a
+// bounded number of events, so exceeding a generous budget is evidence of
+// a livelock rather than a long run. n <= 0 disables the watchdog (the
+// default). The abort leaves still-parked processes behind; the kernel is
+// not reusable afterwards.
+func (k *Kernel) SetEventBudget(n int64) { k.budget = n }
+
+// EventsDispatched returns how many events Run has dispatched so far.
+func (k *Kernel) EventsDispatched() int64 { return k.dispatched }
 
 // Rand returns the kernel's deterministic random number generator. It must
 // only be used from simulation processes or kernel callbacks (the simulation
@@ -178,8 +199,14 @@ func (k *Kernel) Run() error {
 	k.running = true
 	defer func() { k.running = false }()
 	for k.queue.Len() > 0 {
+		if k.budget > 0 && k.dispatched >= k.budget {
+			k.err = fmt.Errorf("%w: %d events dispatched at t=%v (livelock?)",
+				ErrEventBudget, k.dispatched, k.now)
+			return k.err
+		}
 		ev := heap.Pop(&k.queue).(event)
 		k.now = ev.t
+		k.dispatched++
 		k.mEvents.Inc()
 		switch {
 		case ev.fn != nil:

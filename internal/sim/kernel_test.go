@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -328,5 +329,37 @@ func TestStationQueueHighWaterMark(t *testing.T) {
 	}
 	if u := s.Utilization(5 * Second); u < 0.99 || u > 1.01 {
 		t.Fatalf("utilization = %f, want ~1", u)
+	}
+}
+
+func TestEventBudgetAbortsLivelock(t *testing.T) {
+	// A process re-arms itself forever; without the watchdog, Run would
+	// never return. The budget turns that into an error naming the
+	// livelock.
+	k := NewKernel(1)
+	k.SetEventBudget(1000)
+	k.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+		}
+	})
+	err := k.Run()
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("Run = %v, want ErrEventBudget", err)
+	}
+	if k.EventsDispatched() < 1000 {
+		t.Fatalf("dispatched %d events, want >= budget", k.EventsDispatched())
+	}
+}
+
+func TestEventBudgetOffByDefault(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("s", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -8,6 +8,11 @@
 # themselves with testing.Short() so the race detector finishes in seconds
 # instead of minutes. Pass -full before a release.
 #
+# A 25-iteration chaos smoke (see internal/chaos) also gates the run:
+# seeded workload/fault scenarios checked against the end-to-end integrity
+# oracles (SKIP_CHAOS=1 skips this pass; `make chaos` runs the 200-iteration
+# soak).
+#
 # When a BENCH_*.json baseline is committed, the newest one also gates the
 # run: any scenario whose virtual completion time regresses by more than 2%
 # fails (SKIP_BENCH=1 skips this pass).
@@ -42,6 +47,13 @@ go test ./...
 echo "== go test -race $race_flags ./..."
 # shellcheck disable=SC2086 # race_flags is intentionally word-split
 go test -race -count=1 $race_flags ./...
+
+if [ "${SKIP_CHAOS:-}" = "1" ]; then
+    echo "== chaos smoke skipped (SKIP_CHAOS=1)"
+else
+    echo "== chaos smoke (25 seeded scenarios through the integrity oracles)"
+    go run ./cmd/e10chaos -iters 25 -seed 1
+fi
 
 if [ "${SKIP_BENCH:-}" = "1" ]; then
     echo "== bench-compare skipped (SKIP_BENCH=1)"
