@@ -1,6 +1,6 @@
 # Tier-1 gate plus static, race and coverage checks; see scripts/check.sh.
 .PHONY: check check-full test build vet fmt-check cover trace-demo \
-	bench-record bench-compare chaos chaos-smoke
+	bench-record bench-compare chaos chaos-smoke chaos-failover
 
 build:
 	go build ./...
@@ -33,6 +33,11 @@ trace-demo:
 # minimal replayable chaos_repro.json (replay: e10chaos -replay <file>).
 chaos:
 	go run ./cmd/e10chaos -iters 200 -seed 1
+
+# Failover-focused soak: degraded-mode collective scenarios only (lossy
+# links, duplication, partitions, aggregator crashes).
+chaos-failover:
+	go run ./cmd/e10chaos -iters 200 -seed 7 -netfaults
 
 # The quick variant check.sh runs on every gate.
 chaos-smoke:

@@ -31,6 +31,7 @@ func main() {
 		out     = flag.String("out", "", "also write the soak report JSON to this file")
 		repro   = flag.String("repro", "chaos_repro.json", "where to write the shrunk reproducer when the soak fails")
 		noShrnk = flag.Bool("no-shrink", false, "report failures without shrinking them")
+		netOnly = flag.Bool("netfaults", false, "soak only degraded-mode collective scenarios (lossy links, duplication, partitions, aggregator crashes)")
 		verbose = flag.Bool("v", false, "print one line per scenario")
 	)
 	flag.Parse()
@@ -53,7 +54,11 @@ func main() {
 		}
 	}
 
-	rep, err := chaos.Explore(*seed, *iters, progress)
+	gen := chaos.Generate
+	if *netOnly {
+		gen = chaos.GenerateNetFaults
+	}
+	rep, err := chaos.ExploreGen(*seed, *iters, gen, progress)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -50,6 +50,9 @@ func (f *File) WriteStridedColl(segs []extent.Extent, data []byte) error {
 	if data != nil && int64(len(data)) != total {
 		return fmt.Errorf("adio: payload length %d != segment total %d", len(data), total)
 	}
+	if f.resilientEnabled() {
+		return f.writeStridedCollResilient(segs, data, total)
+	}
 	f.Stats.CollWrites++
 
 	mt := f.metrics()

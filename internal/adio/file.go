@@ -52,6 +52,7 @@ type Stats struct {
 	PeakBufBytes   int64 // peak collective buffer allocation on this rank
 	SievedWrites   int64 // read-modify-write cycles in write data sieving
 	SievedReads    int64 // sieved windows in read data sieving
+	FailoverEpochs int64 // resilient-write membership epochs beyond the first
 	CacheFallback  bool  // cache open failed, reverted to standard path
 }
 
@@ -69,6 +70,8 @@ type File struct {
 	myAgg   int   // my index in aggList, or -1
 	atomic  bool
 	closed  bool
+
+	resilCall int // resilient collective-write call counter (epoch comm scoping)
 
 	Stats Stats
 }

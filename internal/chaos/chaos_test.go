@@ -27,6 +27,14 @@ func crashed(sessions int) Scenario {
 	return sc
 }
 
+// collective returns a degraded-mode scenario: a resilient two-phase
+// strided write with reliable delivery and collective timeouts armed.
+func collective() Scenario {
+	sc := base()
+	sc.Collective = true
+	return sc
+}
+
 func mustExecute(t *testing.T, sc Scenario) *Result {
 	t.Helper()
 	res, err := Execute(sc)
@@ -97,6 +105,57 @@ func TestExecuteIsDeterministic(t *testing.T) {
 	}
 }
 
+func TestCollectiveCleanScenario(t *testing.T) {
+	res := mustExecute(t, collective())
+	if res.Failed() {
+		t.Fatalf("fault-free collective run violated: %v", res.Violations)
+	}
+	sc := collective()
+	if res.AckedOps != sc.ranks()*sc.Blocks {
+		t.Fatalf("acked %d writes, want %d", res.AckedOps, sc.ranks()*sc.Blocks)
+	}
+}
+
+// TestCollectiveScenariosSurviveNetworkFaults runs the degraded-mode
+// workload under each new fault kind: the oracles must stay green — every
+// surviving rank's acked bytes durable, no rank stuck in a collective.
+func TestCollectiveScenariosSurviveNetworkFaults(t *testing.T) {
+	cases := map[string][]Action{
+		"lossy-link": {{Kind: fault.LossyLink, Node: 0, Factor: 0.15, FromUS: 1_000, ToUS: 40_000}},
+		"dup-link":   {{Kind: fault.DupLink, Node: 1, Factor: 0.25, FromUS: 1_000, ToUS: 40_000}},
+		"partition":  {{Kind: fault.Partition, Nodes: []int{1}, FromUS: 5_000, ToUS: 30_000}},
+		"agg-crash":  {{Kind: fault.CrashNode, Node: 1, FromUS: 5_000}},
+		"combined": {
+			{Kind: fault.LossyLink, Node: 0, Factor: 0.1, FromUS: 1_000, ToUS: 20_000},
+			{Kind: fault.CrashNode, Node: 1, FromUS: 8_000},
+		},
+	}
+	for name, faults := range cases {
+		sc := collective()
+		sc.Blocks = 4
+		sc.Faults = faults
+		res := mustExecute(t, sc)
+		if res.Failed() {
+			t.Errorf("%s: degraded-mode run violated: %v", name, res.Violations)
+		}
+	}
+}
+
+func TestCollectiveExecuteIsDeterministic(t *testing.T) {
+	sc := collective()
+	sc.Blocks = 4
+	sc.Faults = []Action{
+		{Kind: fault.LossyLink, Node: 0, Factor: 0.2, FromUS: 1_000, ToUS: 30_000},
+		{Kind: fault.CrashNode, Node: 1, FromUS: 8_000},
+	}
+	a := mustExecute(t, sc)
+	b := mustExecute(t, sc)
+	if a.Events != b.Events || a.WallNS != b.WallNS || a.AckedOps != b.AckedOps {
+		t.Fatalf("same degraded scenario diverged: events %d/%d, time %d/%d, acked %d/%d",
+			a.Events, b.Events, a.WallNS, b.WallNS, a.AckedOps, b.AckedOps)
+	}
+}
+
 func TestGenerateAlwaysValidates(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 500; i++ {
@@ -148,12 +207,13 @@ func TestExploreSoakIsClean(t *testing.T) {
 // under its injection would miss the real bug class.
 func TestInjectionsTripTheirInvariant(t *testing.T) {
 	cases := map[string]Scenario{
-		"lose-journal":   crashed(1),
-		"lost-ack":       base(),
-		"corrupt-replay": crashed(3),
-		"leak-lock":      base(),
-		"stall":          base(),
-		"miscount-retry": base(),
+		"lose-journal":     crashed(1),
+		"lost-ack":         base(),
+		"corrupt-replay":   crashed(3),
+		"leak-lock":        base(),
+		"stall":            base(),
+		"miscount-retry":   base(),
+		"stuck-collective": collective(),
 	}
 	if len(cases) != len(injections) {
 		t.Fatalf("test covers %d injections, registry has %d", len(cases), len(injections))
@@ -291,6 +351,29 @@ func TestScenarioValidateRejectsBadInput(t *testing.T) {
 				{Kind: fault.FailDevice, Node: 0, FromUS: 100, ToUS: 5000},
 				{Kind: fault.FailDevice, Node: 0, FromUS: 2000, ToUS: 9000},
 			}
+		},
+		func(sc *Scenario) { // lossy link without the reliable layer deadlocks
+			sc.Faults = []Action{{Kind: fault.LossyLink, Node: 0, Factor: 0.1, FromUS: 100, ToUS: 5000}}
+		},
+		func(sc *Scenario) { // dup link is collective-only too
+			sc.Faults = []Action{{Kind: fault.DupLink, Node: 0, Factor: 0.1, FromUS: 100, ToUS: 5000}}
+		},
+		func(sc *Scenario) { // permanent partition = dead cluster, not a finding
+			sc.Faults = []Action{{Kind: fault.Partition, Nodes: []int{0}, FromUS: 100}}
+		},
+		func(sc *Scenario) { // partition group must leave survivors
+			sc.Faults = []Action{{Kind: fault.Partition, Nodes: []int{0, 1}, FromUS: 100, ToUS: 5000}}
+		},
+		func(sc *Scenario) { // partition member outside the cluster
+			sc.Faults = []Action{{Kind: fault.Partition, Nodes: []int{7}, FromUS: 100, ToUS: 5000}}
+		},
+		func(sc *Scenario) { // collective mode has no recovery sessions
+			sc.Collective = true
+			sc.Sessions = 2
+		},
+		func(sc *Scenario) { // collective mode needs cross-node traffic
+			sc.Collective = true
+			sc.Nodes = 1
 		},
 	}
 	for i, mutate := range cases {

@@ -12,9 +12,10 @@ import (
 var regen = flag.Bool("regen", false, "rewrite the testdata repro fixtures")
 
 // fixtures is the committed reproducer corpus: one scenario per invariant
-// class, each sabotaged by the injection its oracle must catch. The files
-// under testdata/ are real chaos_repro.json files — `e10chaos -replay`
-// accepts them unchanged.
+// class, each sabotaged by the injection its oracle must catch, plus
+// injection-less "clean" fixtures pinning known-good degraded-mode
+// schedules (empty verdict). The files under testdata/ are real
+// chaos_repro.json files — `e10chaos -replay` accepts them unchanged.
 func fixtures() []struct {
 	file string
 	note string
@@ -88,6 +89,37 @@ func fixtures() []struct {
 				Injection: "miscount-retry",
 			},
 		},
+		{
+			file: "stuck_collective.json",
+			note: "rank 0's collective accounting skewed as if it entered a collective and never returned: the stuck-collective oracle must notice",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2, Collective: true,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 1,
+				Injection: "stuck-collective",
+			},
+		},
+		{
+			file: "partition_sync.json",
+			note: "clean: node 0 is partitioned for 40ms mid-sync; partition-exempt retries ride it out and every byte lands, no invariant trips",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 3,
+				Mode: "enable", FlushFlag: "flush_immediate", Sessions: 1,
+				Faults: []Action{{Kind: fault.Partition, Nodes: []int{0},
+					FromUS: 2_000, ToUS: 42_000}},
+			},
+		},
+		{
+			file: "aggregator_crash.json",
+			note: "clean: an aggregator node crashes mid-round during a resilient collective write; survivors recompute file domains and replay unacked rounds, no invariant trips",
+			sc: Scenario{
+				Seed: 42, Nodes: 3, PerNode: 1, Collective: true,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 4,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 1,
+				Faults: []Action{{Kind: fault.CrashNode, Node: 1, FromUS: 5_000}},
+			},
+		},
 	}
 }
 
@@ -98,8 +130,11 @@ func TestReproFixturesReplay(t *testing.T) {
 	if *regen {
 		for _, fx := range fixtures() {
 			res := mustExecute(t, fx.sc)
-			if !res.Failed() {
+			if fx.sc.Injection != "" && !res.Failed() {
 				t.Fatalf("%s: fixture scenario does not fail", fx.file)
+			}
+			if fx.sc.Injection == "" && res.Failed() {
+				t.Fatalf("%s: clean fixture scenario fails: %v", fx.file, res.ViolatedInvariants())
 			}
 			data, err := NewRepro(res, fx.note).Marshal()
 			if err != nil {
@@ -131,6 +166,12 @@ func TestReproFixturesReplay(t *testing.T) {
 				t.Fatalf("verdict did not reproduce: recorded %v, replayed %v",
 					rp.Verdict, res.ViolatedInvariants())
 			}
+			if rp.Scenario.Injection == "" {
+				if len(rp.Verdict) != 0 {
+					t.Fatalf("clean fixture carries verdict %v, want empty", rp.Verdict)
+				}
+				return
+			}
 			want := Trips(rp.Scenario.Injection)
 			found := false
 			for _, inv := range rp.Verdict {
@@ -147,16 +188,25 @@ func TestReproFixturesReplay(t *testing.T) {
 }
 
 // TestFixtureCorpusCoversEveryInvariant pins the corpus contract: at least
-// one committed reproducer per invariant class.
+// one committed reproducer per invariant class, and at least two clean
+// degraded-mode fixtures (partition-during-sync, aggregator failover).
 func TestFixtureCorpusCoversEveryInvariant(t *testing.T) {
 	covered := map[string]bool{}
+	clean := 0
 	for _, fx := range fixtures() {
+		if fx.sc.Injection == "" {
+			clean++
+			continue
+		}
 		covered[Trips(fx.sc.Injection)] = true
 	}
 	for _, inv := range Invariants {
 		if !covered[inv] {
 			t.Errorf("no fixture covers invariant %q", inv)
 		}
+	}
+	if clean < 2 {
+		t.Errorf("corpus has %d clean fixtures, want >= 2", clean)
 	}
 	if len(fixtures()) < 5 {
 		t.Errorf("corpus has %d fixtures, want >= 5", len(fixtures()))

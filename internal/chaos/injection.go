@@ -43,6 +43,9 @@ var injections = map[string]struct {
 	"stall": {phasePreRun, InvLiveness},
 	// Bump the retry counter without a matching traced retry.
 	"miscount-retry": {phasePostRun, InvTraceMetrics},
+	// Skew rank 0's collective accounting, as if it entered a collective
+	// and never came back — the no_stuck_collective oracle must notice.
+	"stuck-collective": {phasePostRun, InvStuckCollective},
 }
 
 // Trips returns the invariant an injection is designed to violate ("" for
@@ -117,5 +120,7 @@ func applyInjection(r *run, phase injPhase, mr ...*mpi.Rank) {
 		})
 	case "miscount-retry":
 		r.mreg.Counter("cache_sync_retries_total", metrics.L(metrics.KeyLayer, "core")).Inc()
+	case "stuck-collective":
+		r.cl.World.SkewCollAccounting(0)
 	}
 }

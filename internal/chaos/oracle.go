@@ -33,8 +33,11 @@ func (r *run) check() *Result {
 
 	// Liveness first: if the kernel aborted, the remaining oracles would
 	// report a half-finished world's state, which is noise, not signal.
+	// The stuck-collective check still runs — it names the ranks wedged
+	// inside a collective, turning "the run hung" into a diagnosis.
 	if r.runErr != nil {
 		add(InvLiveness, "run did not terminate cleanly: %v", r.runErr)
+		r.checkStuckCollective(add)
 		return res
 	}
 
@@ -42,7 +45,25 @@ func (r *run) check() *Result {
 	r.checkIdempotence(add)
 	r.checkLockRelease(add)
 	r.checkTraceMetrics(add)
+	r.checkStuckCollective(add)
 	return res
+}
+
+// checkStuckCollective verifies the collective-call balance of every rank
+// that is still alive: calls entered == calls completed. With collective
+// timeouts armed, even a partitioned or bereaved collective must return
+// (with a typed error) rather than strand its participants.
+func (r *run) checkStuckCollective(add func(inv, format string, args ...interface{})) {
+	w := r.cl.World
+	for id := 0; id < w.Size(); id++ {
+		if !w.Alive(id) {
+			continue // a killed rank legitimately left collectives unfinished
+		}
+		if started, done := w.CollBalance(id); started != done {
+			add(InvStuckCollective,
+				"rank %d entered %d collective(s) but completed only %d", id, started, done)
+		}
+	}
 }
 
 // checkConservation enforces the two durability invariants over every

@@ -40,6 +40,13 @@ type Report struct {
 // progress (optional) observes each result as it lands. The whole soak is
 // a pure function of (masterSeed, iters).
 func Explore(masterSeed int64, iters int, progress func(i int, res *Result)) (*Report, error) {
+	return ExploreGen(masterSeed, iters, Generate, progress)
+}
+
+// ExploreGen is Explore with a custom scenario generator — e.g.
+// GenerateNetFaults to soak only degraded-mode collective schedules. The
+// soak is a pure function of (masterSeed, iters, gen).
+func ExploreGen(masterSeed int64, iters int, gen func(*rand.Rand) Scenario, progress func(i int, res *Result)) (*Report, error) {
 	rng := rand.New(rand.NewSource(masterSeed))
 	rep := &Report{
 		MasterSeed: masterSeed,
@@ -51,7 +58,7 @@ func Explore(masterSeed int64, iters int, progress func(i int, res *Result)) (*R
 	}
 	for i := 0; i < iters; i++ {
 		seed := rng.Int63()
-		sc := Generate(rand.New(rand.NewSource(seed)))
+		sc := gen(rand.New(rand.NewSource(seed)))
 		sc.Seed = seed
 		res, err := Execute(sc)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -33,12 +34,16 @@ const (
 	InvLockRelease  = "lock_release"        // no byte-range lock survives the run
 	InvLiveness     = "liveness"            // the run terminates (no deadlock/livelock)
 	InvTraceMetrics = "trace_metrics"       // retry counters match traced retries
+	// InvStuckCollective demands every surviving rank left every collective
+	// it entered — by completing it or by a surfaced timeout, never by
+	// parking forever while the rest of the run moves on.
+	InvStuckCollective = "no_stuck_collective"
 )
 
 // Invariants lists every checked invariant, in report order.
 var Invariants = []string{
 	InvConservation, InvLostAck, InvIdempotence,
-	InvLockRelease, InvLiveness, InvTraceMetrics,
+	InvLockRelease, InvLiveness, InvTraceMetrics, InvStuckCollective,
 }
 
 // Result is one executed scenario's verdict.
@@ -161,6 +166,19 @@ func (r *run) setup() error {
 		for c := range r.live[node] {
 			c.Crash()
 		}
+		if r.sc.Collective {
+			// Degraded-mode scenarios model the whole node dying: its MPI
+			// ranks unwind too, and the survivors must fail over.
+			r.cl.World.KillNode(node)
+		}
+	}
+	if r.sc.Collective {
+		// The degraded-mode stack: retransmitting transport plus bounded
+		// collectives, so lost messages and partitions surface as typed
+		// errors instead of deadlocks. The timeout must exceed one
+		// two-phase round's aggregator I/O at the chaos block sizes.
+		r.cl.World.EnableReliable(mpi.ReliableConfig{})
+		r.cl.World.SetCollTimeout(collectiveTimeout)
 	}
 	if _, err := r.cl.ArmFaults(r.sc.Schedule()); err != nil {
 		return fmt.Errorf("chaos: arming schedule: %w", err)
@@ -221,11 +239,66 @@ func (r *run) close(f *adio.File, mr *mpi.Rank) error {
 	return err
 }
 
+// collectiveTimeout bounds every collective call in degraded-mode
+// scenarios; the paired receive deadline is derived from it (timeout/2).
+const collectiveTimeout = 200 * sim.Millisecond
+
+// simulateCollective runs the degraded-mode workload: one resilient
+// two-phase strided write per rank, under whatever the schedule throws at
+// the fabric. Ranks on crashed nodes are killed outright and unwind; a
+// surviving rank whose write returns nil has every byte acked through
+// round-acks, which is exactly what the conservation oracle then checks
+// against the global file.
+func (r *run) simulateCollective() {
+	sc := r.sc
+	r.runErr = r.cl.World.Run(func(mr *mpi.Rank) {
+		me := mr.ID()
+		f, err := adio.OpenColl(mr, adio.OpenArgs{
+			Comm: r.cl.World.Comm(), Registry: r.cl.Env.Registry,
+			Path: FilePath, Create: true,
+			Info: mpi.Info{
+				adio.HintCBNodes:        "2",
+				adio.HintCBBufferSize:   "1048576",
+				adio.HintResilientWrite: "enable",
+			},
+		})
+		if err != nil {
+			r.fail(me, "open", err)
+			return
+		}
+		if me == 0 {
+			applyInjection(r, phaseSession1, mr)
+		}
+		var segs []extent.Extent
+		var data []byte
+		for b := 0; b < sc.Blocks; b++ {
+			off := sc.offsetFor(me, b)
+			segs = append(segs, extent.Extent{Off: off, Len: sc.blockSize()})
+			data = append(data, patternBuf(me, off, sc.blockSize())...)
+		}
+		if werr := f.WriteStridedColl(segs, data); werr != nil {
+			r.fail(me, "write", werr)
+		} else {
+			for _, s := range segs {
+				r.acked = append(r.acked, writeRec{rank: me, ext: s})
+				r.ref.WriteAt(patternBuf(me, s.Off, s.Len), s.Off, s.Len)
+			}
+		}
+		if cerr := f.Close(); cerr != nil {
+			r.fail(me, "close", cerr)
+		}
+	})
+}
+
 // simulate runs every session of the scenario inside one kernel run. All
 // ranks execute the same collective structure unconditionally — OpenColl
 // contains barriers, so the session count must be scenario-driven, never
 // runtime-state-driven.
 func (r *run) simulate() {
+	if r.sc.Collective {
+		r.simulateCollective()
+		return
+	}
 	sc := r.sc
 	comm := r.cl.World.Comm()
 	r.runErr = r.cl.World.Run(func(mr *mpi.Rank) {

@@ -33,6 +33,7 @@ const (
 type Action struct {
 	Kind   fault.Kind `json:"kind"`
 	Node   int        `json:"node,omitempty"`
+	Nodes  []int      `json:"nodes,omitempty"` // partition: the cut group
 	Target int        `json:"target,omitempty"`
 	Factor float64    `json:"factor,omitempty"`
 	FromUS int64      `json:"from_us"`
@@ -44,7 +45,7 @@ func (a Action) String() string { return a.fault().String() }
 
 func (a Action) fault() fault.Fault {
 	return fault.Fault{
-		Kind: a.Kind, Node: a.Node, Target: a.Target, Factor: a.Factor,
+		Kind: a.Kind, Node: a.Node, Nodes: a.Nodes, Target: a.Target, Factor: a.Factor,
 		From: sim.Time(a.FromUS) * sim.Microsecond,
 		To:   sim.Time(a.ToUS) * sim.Microsecond,
 	}
@@ -70,6 +71,13 @@ type Scenario struct {
 	// (e10_cache_recovery); 3 = additionally re-stage the journal and
 	// recover again, probing replay idempotence.
 	Sessions int `json:"sessions"`
+
+	// Collective switches the workload from independent cached writes to
+	// the degraded-mode collective path: reliable delivery and collective
+	// timeouts armed, a resilient two-phase strided write, and crash-node
+	// faults that kill the node's MPI ranks outright (aggregator failover).
+	// Network fault kinds (lossy-link, dup-link) require this mode.
+	Collective bool `json:"collective,omitempty"`
 
 	Faults []Action `json:"faults,omitempty"`
 
@@ -132,6 +140,12 @@ func (sc *Scenario) Schedule() *fault.Schedule {
 			c.DegradeLink(a.Node, a.Factor)
 		case fault.CrashNode:
 			c.CrashNode(a.Node)
+		case fault.LossyLink:
+			c.LossyLink(a.Node, a.Factor)
+		case fault.DupLink:
+			c.DupLink(a.Node, a.Factor)
+		case fault.Partition:
+			c.Partition(a.Nodes...)
 		}
 	}
 	return s
@@ -168,6 +182,14 @@ func (sc *Scenario) Validate() error {
 	default:
 		return fmt.Errorf("chaos: unknown flush_flag %q", sc.FlushFlag)
 	}
+	if sc.Collective {
+		if sc.Sessions != 1 {
+			return fmt.Errorf("chaos: collective scenarios take sessions=1, got %d (no cache journal to recover)", sc.Sessions)
+		}
+		if sc.Nodes < 2 {
+			return fmt.Errorf("chaos: collective scenarios need >= 2 nodes for cross-node traffic")
+		}
+	}
 	for i, a := range sc.Faults {
 		switch a.Kind {
 		case fault.FailDevice, fault.DeviceENOSPC, fault.DegradeLink, fault.CrashNode:
@@ -178,6 +200,27 @@ func (sc *Scenario) Validate() error {
 			// Target count fixed by pfs.DefaultConfig (4 targets).
 			if a.Target < 0 || a.Target >= 4 {
 				return fmt.Errorf("chaos: fault %d (%s): target %d outside PFS", i, a, a.Target)
+			}
+		case fault.LossyLink, fault.DupLink:
+			// Without the reliable-delivery layer a single dropped message
+			// deadlocks the run, which is a broken scenario, not a finding.
+			if !sc.Collective {
+				return fmt.Errorf("chaos: fault %d (%s): %s requires a collective scenario (reliable delivery armed)", i, a, a.Kind)
+			}
+			if a.Node < 0 || a.Node >= sc.Nodes {
+				return fmt.Errorf("chaos: fault %d (%s): node %d outside cluster", i, a, a.Node)
+			}
+		case fault.Partition:
+			if a.ToUS == 0 {
+				return fmt.Errorf("chaos: fault %d (%s): a partition needs a healing window (to_us)", i, a)
+			}
+			if len(a.Nodes) == 0 || len(a.Nodes) >= sc.Nodes {
+				return fmt.Errorf("chaos: fault %d (%s): partition group must be a non-empty strict subset of the cluster", i, a)
+			}
+			for _, n := range a.Nodes {
+				if n < 0 || n >= sc.Nodes {
+					return fmt.Errorf("chaos: fault %d (%s): node %d outside cluster", i, a, n)
+				}
 			}
 		default:
 			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, a.Kind)
@@ -198,6 +241,12 @@ func (sc *Scenario) Validate() error {
 // the same scenario, which is what makes a whole soak replayable from one
 // master seed. The generated scenario always validates.
 func Generate(rng *rand.Rand) Scenario {
+	// One in four scenarios exercises the degraded-mode collective path —
+	// lossy/duplicating links, network partitions, aggregator crashes —
+	// instead of the cache stack.
+	if rng.Intn(4) == 0 {
+		return generateCollective(rng)
+	}
 	sc := Scenario{
 		Nodes:     1 + rng.Intn(3),
 		PerNode:   1 + rng.Intn(2),
@@ -235,7 +284,87 @@ func Generate(rng *rand.Rand) Scenario {
 			sc.Faults = sc.Faults[:len(sc.Faults)-1]
 		}
 	}
+	// A windowed partition is safe for the cache stack too: it only cuts
+	// the PFS fabric (Analytic collectives pass no messages), and the sync
+	// thread's partition-exempt retries must ride it out.
+	if sc.Nodes >= 2 && rng.Intn(4) == 0 {
+		a := Action{
+			Kind: fault.Partition, Nodes: []int{rng.Intn(sc.Nodes)},
+			FromUS: int64(5_000 + rng.Intn(30_000)),
+		}
+		a.ToUS = a.FromUS + int64(5_000+rng.Intn(40_000))
+		sc.Faults = append(sc.Faults, a)
+		if sc.Schedule().Validate() != nil {
+			sc.Faults = sc.Faults[:len(sc.Faults)-1]
+		}
+	}
 	return sc
+}
+
+// / GenerateNetFaults draws only degraded-mode collective scenarios —
+// resilient writes under lossy links, duplication, partitions and
+// aggregator crashes. e10chaos -netfaults soaks with this generator to
+// concentrate iterations on the failover machinery.
+func GenerateNetFaults(rng *rand.Rand) Scenario {
+	return generateCollective(rng)
+}
+
+// generateCollective draws a degraded-mode collective scenario: a strided
+// resilient write under network faults.
+func generateCollective(rng *rand.Rand) Scenario {
+	sc := Scenario{
+		Collective: true,
+		Nodes:      2 + rng.Intn(2),
+		PerNode:    1 + rng.Intn(2),
+		Shape:      []string{ShapeContiguous, ShapeInterleaved, ShapeStrided}[rng.Intn(3)],
+		BlockKB:    []int64{16, 64, 128}[rng.Intn(3)],
+		Blocks:     1 + rng.Intn(4),
+		Mode:       "enable", // unused by the collective workload, kept valid
+		FlushFlag:  "flush_onclose",
+		Sessions:   1,
+	}
+	for n := 1 + rng.Intn(2); n > 0; n-- {
+		a := randomNetAction(rng, sc.Nodes)
+		sc.Faults = append(sc.Faults, a)
+		if sc.Schedule().Validate() != nil {
+			sc.Faults = sc.Faults[:len(sc.Faults)-1]
+		}
+	}
+	return sc
+}
+
+// randomNetAction draws one degraded-mode network fault.
+func randomNetAction(rng *rand.Rand, nodes int) Action {
+	switch rng.Intn(4) {
+	case 0: // lossy link window
+		a := Action{
+			Kind: fault.LossyLink, Node: rng.Intn(nodes),
+			Factor: 0.02 + 0.25*rng.Float64(),
+			FromUS: int64(1_000 + rng.Intn(20_000)),
+		}
+		a.ToUS = a.FromUS + int64(5_000+rng.Intn(40_000))
+		return a
+	case 1: // duplicating link window
+		a := Action{
+			Kind: fault.DupLink, Node: rng.Intn(nodes),
+			Factor: 0.05 + 0.35*rng.Float64(),
+			FromUS: int64(1_000 + rng.Intn(20_000)),
+		}
+		a.ToUS = a.FromUS + int64(5_000+rng.Intn(40_000))
+		return a
+	case 2: // partition window: cut one node off, then heal
+		a := Action{
+			Kind: fault.Partition, Nodes: []int{rng.Intn(nodes)},
+			FromUS: int64(2_000 + rng.Intn(20_000)),
+		}
+		a.ToUS = a.FromUS + int64(5_000+rng.Intn(40_000))
+		return a
+	default: // crash a node mid-write (aggregator failover when it hosts one)
+		return Action{
+			Kind: fault.CrashNode, Node: rng.Intn(nodes),
+			FromUS: int64(1_000 + rng.Intn(40_000)),
+		}
+	}
 }
 
 // randomAction draws one non-crash fault action.

@@ -147,12 +147,20 @@ func scKey(sc Scenario) string {
 	return string(out)
 }
 
-// nodeRef returns the node index an action pins, -1 for target-scoped
-// actions.
+// nodeRef returns the highest node index an action pins, -1 for
+// target-scoped actions.
 func nodeRef(a Action) int {
 	switch a.Kind {
 	case "fail-target", "degrade-target":
 		return -1
+	case "partition":
+		max := 0
+		for _, n := range a.Nodes {
+			if n > max {
+				max = n
+			}
+		}
+		return max
 	}
 	return a.Node
 }

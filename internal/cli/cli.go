@@ -18,20 +18,22 @@ import (
 
 // Flags holds the common benchmark options.
 type Flags struct {
-	Aggs     *int
-	CBMB     *int
-	Case     *string
-	Files    *int
-	Compute  *float64
-	Nodes    *int
-	PPN      *int
-	Seed     *int64
-	LastNHS  *bool
-	Trace    *string
-	TraceSum *bool
-	Stats    *bool
-	Faults   *string
-	Metrics  *MetricsFlags
+	Aggs      *int
+	CBMB      *int
+	Case      *string
+	Files     *int
+	Compute   *float64
+	Nodes     *int
+	PPN       *int
+	Seed      *int64
+	LastNHS   *bool
+	Trace     *string
+	TraceSum  *bool
+	Stats     *bool
+	Faults    *string
+	Reliable  *bool
+	Resilient *bool
+	Metrics   *MetricsFlags
 }
 
 // MetricsFlags holds the metrics options every binary shares: printing the
@@ -96,6 +98,10 @@ func Register(fs *flag.FlagSet, includeLastSync bool) *Flags {
 		Stats:    fs.Bool("stats", false, "print the cluster resource report after the run"),
 		Faults: fs.String("faults", "", "fault schedule, e.g. "+
 			"'degrade-target,target=1,factor=0.2,from=2s,to=8s;fail-device,node=0,at=5s'"),
+		Reliable: fs.Bool("reliable", false,
+			"arm reliable message delivery (acks, retransmit, dedup) and collective timeouts; required for lossy-link/dup-link/partition faults"),
+		Resilient: fs.Bool("resilient", false,
+			"use the failover-capable collective write path (aggregator crash recovery); implies -reliable"),
 		Metrics: RegisterMetrics(fs),
 	}
 }
@@ -123,6 +129,8 @@ func (f *Flags) Spec(w workloads.Workload) (harness.Spec, error) {
 	spec.TracePath = *f.Trace
 	spec.TraceEvents = *f.TraceSum
 	spec.FaultSpec = *f.Faults
+	spec.Reliable = *f.Reliable || *f.Resilient
+	spec.Resilient = *f.Resilient
 	f.Metrics.Apply(&spec)
 	return spec, nil
 }

@@ -39,6 +39,25 @@ func TestSpecFromFlags(t *testing.T) {
 	}
 }
 
+func TestSpecDegradedFlags(t *testing.T) {
+	f := parse(t, "-reliable")
+	spec, err := f.Spec(workloads.DefaultIOR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Reliable || spec.Resilient {
+		t.Fatalf("-reliable: spec = %+v", spec)
+	}
+	f = parse(t, "-resilient")
+	spec, err = f.Spec(workloads.DefaultIOR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Reliable || !spec.Resilient {
+		t.Fatalf("-resilient must imply Reliable: spec = %+v", spec)
+	}
+}
+
 func TestSpecRejectsBadCase(t *testing.T) {
 	f := parse(t, "-case", "turbo")
 	if _, err := f.Spec(workloads.DefaultIOR()); err == nil {

@@ -261,6 +261,12 @@ func (c *Cache) recover(f *adio.File) error {
 	verify := cachePayload && verifier != nil && verifier.PayloadBacked()
 	for _, ext := range c.dirty.Extents() {
 		for off := ext.Off; off < ext.End(); off += bufSize {
+			// A second crash can land while this node replays the first
+			// crash's journal; abort the replay at a chunk boundary so the
+			// journal keeps exactly the still-unsynced extents.
+			if c.crashed {
+				return ErrCrashed
+			}
 			n := min64(bufSize, ext.End()-off)
 			buf, err := c.readChunk(p, off, n)
 			if err != nil {
@@ -725,7 +731,12 @@ func (st *syncThread) syncExtent(p *sim.Proc, req *syncReq, bufSize int64) error
 // syncChunk moves one chunk cache -> global, retrying transient failures
 // with exponential backoff. Both legs can fail: the cache read (SSD died)
 // and the global write (storage target down); either way the data is still
-// safe in one of the two copies, so retrying is always sound.
+// safe in one of the two copies, so retrying is always sound. A network
+// partition (pfs.ErrPartitioned) is environmental rather than a fault of
+// either copy: it heals when the fabric does, so partition retries do not
+// consume the RetryLimit budget — they back off (capped, so a long
+// partition polls instead of sleeping geometrically) until the fabric
+// heals or the node crashes.
 func (st *syncThread) syncChunk(p *sim.Proc, off, n int64) error {
 	c := st.c
 	backoff := c.opts.RetryBackoff
@@ -733,7 +744,7 @@ func (st *syncThread) syncChunk(p *sim.Proc, off, n int64) error {
 		backoff = DefaultRetryBackoff
 	}
 	var err error
-	for attempt := 0; ; attempt++ {
+	for attempt := 0; ; {
 		var buf []byte
 		buf, err = c.readChunk(p, off, n)
 		if err == nil {
@@ -745,8 +756,12 @@ func (st *syncThread) syncChunk(p *sim.Proc, off, n int64) error {
 		if st.crashed {
 			return err
 		}
-		if attempt >= c.opts.RetryLimit {
-			return fmt.Errorf("%w (after %d attempts)", err, attempt+1)
+		partitioned := errors.Is(err, pfs.ErrPartitioned)
+		if !partitioned {
+			if attempt >= c.opts.RetryLimit {
+				return fmt.Errorf("%w (after %d attempts)", err, attempt+1)
+			}
+			attempt++
 		}
 		c.Stats.SyncRetries++
 		if c.metricsOn() {
@@ -754,10 +769,17 @@ func (st *syncThread) syncChunk(p *sim.Proc, off, n int64) error {
 		}
 		if tr := st.k.Tracer(); tr != nil {
 			tr.Instant(st.tk, "cache", "sync_retry", int64(p.Now()),
-				trace.I("attempt", int64(attempt+1)), trace.I("backoff_ns", int64(backoff)))
+				trace.I("attempt", int64(attempt)), trace.I("backoff_ns", int64(backoff)))
 		}
 		p.Sleep(backoff)
-		backoff *= 2
+		if backoff < PartitionBackoffCap {
+			backoff *= 2
+			if partitioned && backoff > PartitionBackoffCap {
+				backoff = PartitionBackoffCap
+			}
+		} else if !partitioned {
+			backoff *= 2
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 // rig is a small simulated cluster with local SSDs on every node.
 type rig struct {
 	k    *sim.Kernel
+	fab  *netsim.Fabric
 	fs   *pfs.System
 	w    *mpi.World
 	reg  *adio.Registry
@@ -56,7 +57,7 @@ func newRigSeed(t *testing.T, seed int64, nodes, perNode int, factory store.Fact
 		LocalFS: func(n int) *nvm.FS { return nvms[n] },
 		Locks:   fs.Locks,
 	}
-	return &rig{k: k, fs: fs, w: w, reg: reg, env: env, nvms: nvms}
+	return &rig{k: k, fab: fab, fs: fs, w: w, reg: reg, env: env, nvms: nvms}
 }
 
 func (rg *rig) open(r *mpi.Rank, t *testing.T, info mpi.Info) *adio.File {

@@ -507,3 +507,49 @@ func TestRetryHintsConfigureBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSyncPartitionRetriesAreBudgetExempt(t *testing.T) {
+	// Node 0 is cut off from the storage fabric for 400 ms — ten times the
+	// plain-fault retry budget (10+20+40+80 ms). Partition errors are
+	// retryable for as long as the partition lasts: the attempt counter
+	// freezes, the backoff caps at PartitionBackoffCap, and the sync
+	// completes once the fabric heals. No terminal failure, no data loss.
+	rg := newRig(t, 2, 1, store.NewNull)
+	err := rg.w.Run(func(r *mpi.Rank) {
+		f := rg.open(r, t, mpi.Info{
+			adio.HintCBWrite: "enable", HintCache: "enable", HintFlushFlag: "flush_immediate",
+		})
+		if r.ID() != 0 {
+			r.Compute(sim.FromSeconds(2))
+			if err := f.Close(); err != nil {
+				t.Errorf("unpartitioned rank close: %v", err)
+			}
+			return
+		}
+		if err := f.WriteContig(nil, 0, 1<<20); err != nil {
+			t.Error(err)
+		}
+		// The first sync chunk spends ~2 ms reading the SSD, so the
+		// partition set here lands before its first global-write attempt.
+		rg.fab.SetPartition([]int{0}, true)
+		rg.k.After(400*sim.Millisecond, func() { rg.fab.SetPartition(nil, false) })
+		r.Compute(sim.FromSeconds(2))
+		c := f.InstalledHooks().(*Cache)
+		if err := f.Close(); err != nil {
+			t.Errorf("close after healed partition: %v", err)
+		}
+		if got := c.Stats.SyncRetries; got <= DefaultRetryLimit {
+			t.Errorf("partition retries must exceed the plain-fault budget: got %d, want > %d",
+				got, DefaultRetryLimit)
+		}
+		if c.Stats.SyncFailures != 0 {
+			t.Errorf("no terminal failure expected, got %d", c.Stats.SyncFailures)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.fs.TotalBytesWritten() < 1<<20 {
+		t.Fatalf("global FS got %d bytes, want the full 1 MB", rg.fs.TotalBytesWritten())
+	}
+}

@@ -85,10 +85,13 @@ type Options struct {
 }
 
 // DefaultRetryLimit and DefaultRetryBackoff govern sync-failure handling
-// when the e10_sync_retry_* hints are absent.
+// when the e10_sync_retry_* hints are absent. PartitionBackoffCap bounds
+// the backoff used while waiting out a network partition, whose retries
+// are budget-exempt and could otherwise sleep geometrically forever.
 const (
 	DefaultRetryLimit   = 4
 	DefaultRetryBackoff = 10 * sim.Millisecond
+	PartitionBackoffCap = 80 * sim.Millisecond
 )
 
 // ParseOptions extracts and validates the e10_* hints. Cache mode defaults

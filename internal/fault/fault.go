@@ -50,6 +50,20 @@ const (
 	// NVM device for a later e10_cache_recovery open. A crash never
 	// reverts, so it only accepts at= times.
 	CrashNode Kind = "crash-node"
+	// LossyLink makes node N's outbound link drop each message with
+	// probability Factor (seeded, per-message). Dropped messages charge the
+	// sender's NIC but never arrive; the MPI reliable-delivery layer (when
+	// enabled) retransmits them.
+	LossyLink Kind = "lossy-link"
+	// DupLink makes node N's outbound link duplicate each message with
+	// probability Factor. The MPI reliable-delivery layer dedups the extra
+	// copy at the receiver.
+	DupLink Kind = "dup-link"
+	// Partition cuts the fabric between Nodes and the remaining nodes:
+	// messages crossing the cut are dropped at the sender until the window
+	// ends (or forever with at=). Only one partition may be active at a
+	// time.
+	Partition Kind = "partition"
 )
 
 // Fault is one scheduled fault. From is when it is applied; To, when
@@ -57,24 +71,32 @@ const (
 // for the rest of the run (At).
 type Fault struct {
 	Kind   Kind
-	Node   int     // FailDevice, DeviceENOSPC, DegradeLink
+	Node   int     // FailDevice, DeviceENOSPC, DegradeLink, LossyLink, DupLink
+	Nodes  []int   // Partition: the node group cut from the rest
 	Target int     // FailTarget, DegradeTarget
-	Factor float64 // DegradeTarget, DegradeLink: speed factor in (0, 1]
+	Factor float64 // DegradeTarget, DegradeLink: speed factor in (0, 1]; LossyLink, DupLink: probability in (0, 1)
 	From   sim.Time
 	To     sim.Time
 }
 
-// String renders the fault compactly, e.g. "degrade-target(t1,f=0.20)@2s-8s".
+// String renders the fault compactly, e.g. "degrade-target(t1,f=0.20)@2s-8s"
+// or "partition(n0:2)@2s-8s".
 func (f Fault) String() string {
 	var loc string
 	switch f.Kind {
 	case FailTarget, DegradeTarget:
 		loc = fmt.Sprintf("t%d", f.Target)
+	case Partition:
+		parts := make([]string, len(f.Nodes))
+		for i, n := range f.Nodes {
+			parts[i] = strconv.Itoa(n)
+		}
+		loc = "n" + strings.Join(parts, ":")
 	default:
 		loc = fmt.Sprintf("n%d", f.Node)
 	}
 	s := fmt.Sprintf("%s(%s", f.Kind, loc)
-	if f.Kind == DegradeTarget || f.Kind == DegradeLink {
+	if f.Kind == DegradeTarget || f.Kind == DegradeLink || f.Kind == LossyLink || f.Kind == DupLink {
 		s += fmt.Sprintf(",f=%.2f", f.Factor)
 	}
 	s += ")@" + f.From.String()
@@ -150,6 +172,22 @@ func (c *Clause) CrashNode(node int) *Clause {
 	return c.add(Fault{Kind: CrashNode, Node: node})
 }
 
+// LossyLink makes node's outbound link drop each message with probability p.
+func (c *Clause) LossyLink(node int, p float64) *Clause {
+	return c.add(Fault{Kind: LossyLink, Node: node, Factor: p})
+}
+
+// DupLink makes node's outbound link duplicate each message with
+// probability p.
+func (c *Clause) DupLink(node int, p float64) *Clause {
+	return c.add(Fault{Kind: DupLink, Node: node, Factor: p})
+}
+
+// Partition cuts the fabric between nodes and the rest of the cluster.
+func (c *Clause) Partition(nodes ...int) *Clause {
+	return c.add(Fault{Kind: Partition, Nodes: nodes})
+}
+
 // Parse builds a schedule from a textual spec: semicolon-separated clauses
 // of comma-separated fields, e.g.
 //
@@ -158,9 +196,13 @@ func (c *Clause) CrashNode(node int) *Clause {
 //	fail-target,target=2,from=2s,to=8s
 //	degrade-target,target=1,factor=0.2,from=2s,to=8s
 //	degrade-link,node=0,factor=0.5,at=500ms
+//	lossy-link,node=0,factor=0.1,from=1s,to=4s
+//	dup-link,node=1,factor=0.05,at=2s
+//	partition,nodes=0:2,from=3s,to=6s
 //
 // Durations use Go syntax (time.ParseDuration). "at=" schedules a permanent
-// fault; "from="/"to=" a reverting window.
+// fault; "from="/"to=" a reverting window. "nodes=" takes a colon-separated
+// node-id list (partition only).
 func Parse(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	for _, clause := range strings.Split(spec, ";") {
@@ -171,7 +213,8 @@ func Parse(spec string) (*Schedule, error) {
 		fields := strings.Split(clause, ",")
 		f := Fault{Kind: Kind(strings.TrimSpace(fields[0])), Factor: 1}
 		switch f.Kind {
-		case FailDevice, DeviceENOSPC, FailTarget, DegradeTarget, DegradeLink, CrashNode:
+		case FailDevice, DeviceENOSPC, FailTarget, DegradeTarget, DegradeLink, CrashNode,
+			LossyLink, DupLink, Partition:
 		default:
 			return nil, fmt.Errorf("fault: unknown kind %q in clause %q", f.Kind, clause)
 		}
@@ -189,6 +232,14 @@ func Parse(spec string) (*Schedule, error) {
 					return nil, fmt.Errorf("fault: bad node %q in clause %q", val, clause)
 				}
 				f.Node = n
+			case "nodes":
+				for _, part := range strings.Split(val, ":") {
+					n, err := strconv.Atoi(part)
+					if err != nil || n < 0 {
+						return nil, fmt.Errorf("fault: bad nodes list %q in clause %q", val, clause)
+					}
+					f.Nodes = append(f.Nodes, n)
+				}
 			case "target":
 				n, err := strconv.Atoi(val)
 				if err != nil || n < 0 {
@@ -231,11 +282,17 @@ func Parse(spec string) (*Schedule, error) {
 		if f.To > 0 && f.To <= f.From {
 			return nil, fmt.Errorf("fault: clause %q has to <= from", clause)
 		}
-		if (f.Kind == DegradeTarget || f.Kind == DegradeLink) && f.Factor == 1 {
+		if (f.Kind == DegradeTarget || f.Kind == DegradeLink || f.Kind == LossyLink || f.Kind == DupLink) && f.Factor == 1 {
 			return nil, fmt.Errorf("fault: clause %q needs factor= in (0,1)", clause)
 		}
 		if f.Kind == CrashNode && (haveFrom || f.To > 0) {
 			return nil, fmt.Errorf("fault: clause %q: crash-node takes at= only (a crash does not revert)", clause)
+		}
+		if f.Kind == Partition && len(f.Nodes) == 0 {
+			return nil, fmt.Errorf("fault: clause %q: partition needs a nodes= list", clause)
+		}
+		if f.Kind != Partition && len(f.Nodes) > 0 {
+			return nil, fmt.Errorf("fault: clause %q: nodes= is partition-only (use node=)", clause)
 		}
 		s.faults = append(s.faults, f)
 	}
@@ -249,10 +306,15 @@ func Parse(spec string) (*Schedule, error) {
 }
 
 // location identifies what a fault acts on, for overlap detection: faults of
-// the same kind on the same location must not have overlapping windows.
+// the same kind on the same location must not have overlapping windows. All
+// partitions share one location (-1): the fabric supports a single cut at a
+// time, so any two overlapping partitions conflict.
 func (f Fault) location() int {
-	if f.Kind == FailTarget || f.Kind == DegradeTarget {
+	switch f.Kind {
+	case FailTarget, DegradeTarget:
 		return f.Target
+	case Partition:
+		return -1
 	}
 	return f.Node
 }
@@ -260,9 +322,10 @@ func (f Fault) location() int {
 // Validate checks the schedule's internal consistency independent of any
 // hardware: every action must have a non-negative start, a window (when
 // present) that ends after it starts, a factor in (0,1] for degrade kinds,
-// no revert window on crash-node, and no two actions of the same kind on
-// the same node/target with overlapping active windows (a permanent fault,
-// To == 0, is active forever). Errors name the offending action index so a
+// no revert window on crash-node, a mandatory heal window on partition,
+// and no two actions of the same kind on the same node/target with
+// overlapping active windows (a permanent fault, To == 0, is active
+// forever). Errors name the offending action index so a
 // generated schedule can be debugged from the message alone. Arm and Parse
 // call this; builders that assemble schedules directly can call it early.
 func (s *Schedule) Validate() error {
@@ -279,8 +342,24 @@ func (s *Schedule) Validate() error {
 		if (f.Kind == DegradeTarget || f.Kind == DegradeLink) && (f.Factor <= 0 || f.Factor > 1) {
 			return fmt.Errorf("fault: action %d (%s): factor %v outside (0,1]", i, f, f.Factor)
 		}
+		if (f.Kind == LossyLink || f.Kind == DupLink) && (f.Factor <= 0 || f.Factor >= 1) {
+			return fmt.Errorf("fault: action %d (%s): probability %v outside (0,1)", i, f, f.Factor)
+		}
 		if f.Kind == CrashNode && f.To > 0 {
 			return fmt.Errorf("fault: action %d (%s): crash-node cannot revert (no to= window)", i, f)
+		}
+		if f.Kind == Partition && len(f.Nodes) == 0 {
+			return fmt.Errorf("fault: action %d (%s): partition needs a non-empty node group", i, f)
+		}
+		if f.Kind == Partition && f.To == 0 {
+			// A cut that never heals means partition-exempt retries spin
+			// forever: the schedule guarantees a livelock, not a finding.
+			return fmt.Errorf("fault: action %d (%s): partition needs a heal window (from=/to=, not at=)", i, f)
+		}
+		for _, n := range f.Nodes {
+			if n < 0 {
+				return fmt.Errorf("fault: action %d (%s): negative node %d in group", i, f, n)
+			}
 		}
 	}
 	for i := 0; i < len(s.faults); i++ {
@@ -379,8 +458,11 @@ func traceFault(k *sim.Kernel, f Fault, on bool) {
 		return
 	}
 	loc := int64(f.Node)
-	if f.Kind == FailTarget || f.Kind == DegradeTarget {
+	switch {
+	case f.Kind == FailTarget || f.Kind == DegradeTarget:
 		loc = int64(f.Target)
+	case f.Kind == Partition && len(f.Nodes) > 0:
+		loc = int64(f.Nodes[0])
 	}
 	tr.Instant(tr.Track(trace.GroupFaults, "faults"), "fault", name, int64(k.Now()),
 		trace.I("loc", loc))
@@ -402,13 +484,23 @@ func validate(f Fault, tg Targets) error {
 			return fmt.Errorf("fault: %s: target %d out of range (%d targets)",
 				f.Kind, f.Target, tg.PFS.Config().Targets)
 		}
-	case DegradeLink:
+	case DegradeLink, LossyLink, DupLink:
 		if tg.Net == nil {
 			return fmt.Errorf("fault: %s: no fabric", f.Kind)
 		}
 		if f.Node >= tg.Net.Nodes() {
 			return fmt.Errorf("fault: %s: node %d out of range (%d nodes)",
 				f.Kind, f.Node, tg.Net.Nodes())
+		}
+	case Partition:
+		if tg.Net == nil {
+			return fmt.Errorf("fault: %s: no fabric", f.Kind)
+		}
+		for _, n := range f.Nodes {
+			if n >= tg.Net.Nodes() {
+				return fmt.Errorf("fault: %s: node %d out of range (%d nodes)",
+					f.Kind, n, tg.Net.Nodes())
+			}
 		}
 	case CrashNode:
 		if tg.Crash == nil {
@@ -448,6 +540,20 @@ func apply(f Fault, tg Targets, on bool) {
 		if on { // a crash never reverts
 			tg.Crash(f.Node)
 		}
+	case LossyLink:
+		p := f.Factor
+		if !on {
+			p = 0
+		}
+		tg.Net.Node(f.Node).SetLossy(p)
+	case DupLink:
+		p := f.Factor
+		if !on {
+			p = 0
+		}
+		tg.Net.Node(f.Node).SetDup(p)
+	case Partition:
+		tg.Net.SetPartition(f.Nodes, on)
 	}
 }
 

@@ -391,3 +391,190 @@ func TestReportIsDeterministic(t *testing.T) {
 		t.Fatalf("report missing lifecycle states:\n%s", a)
 	}
 }
+
+func TestParseNetworkFaultKinds(t *testing.T) {
+	s, err := Parse("lossy-link,node=0,factor=0.1,from=1s,to=4s;" +
+		"dup-link,node=1,factor=0.05,at=2s;" +
+		"partition,nodes=0:2,from=3s,to=6s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := s.Faults()
+	if len(fs) != 3 {
+		t.Fatalf("parsed %d faults, want 3", len(fs))
+	}
+	if fs[0].Kind != LossyLink || fs[0].Node != 0 || fs[0].Factor != 0.1 ||
+		fs[0].From != sim.Second || fs[0].To != 4*sim.Second {
+		t.Errorf("fault 0 = %+v", fs[0])
+	}
+	if fs[1].Kind != DupLink || fs[1].Node != 1 || fs[1].Factor != 0.05 || fs[1].To != 0 {
+		t.Errorf("fault 1 = %+v", fs[1])
+	}
+	if fs[2].Kind != Partition || len(fs[2].Nodes) != 2 || fs[2].Nodes[0] != 0 || fs[2].Nodes[1] != 2 {
+		t.Errorf("fault 2 = %+v", fs[2])
+	}
+	if got := fs[0].String(); got != "lossy-link(n0,f=0.10)@1.000s-4.000s" {
+		t.Errorf("lossy String() = %q", got)
+	}
+	if got := fs[2].String(); got != "partition(n0:2)@3.000s-6.000s" {
+		t.Errorf("partition String() = %q", got)
+	}
+}
+
+func TestParseNetworkFaultErrors(t *testing.T) {
+	for _, spec := range []string{
+		"lossy-link,node=0,at=1s",                    // missing probability
+		"lossy-link,node=0,factor=1,at=1s",           // probability must be < 1
+		"dup-link,node=0,factor=0,at=1s",             // probability must be > 0
+		"partition,from=1s,to=2s",                    // missing nodes=
+		"partition,nodes=,from=1s,to=2s",             // empty nodes list
+		"partition,nodes=0:x,from=1s,to=2s",          // bad node id in list
+		"partition,nodes=0:-1,from=1s,to=2s",         // negative node id
+		"lossy-link,node=0,nodes=1,factor=0.1,at=1s", // nodes= is partition-only
+		"partition,nodes=0,at=1s",                    // permanent partition = guaranteed livelock
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) must fail", spec)
+		}
+	}
+}
+
+func TestValidateNetworkKinds(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *Schedule
+		wantErr string // substring; "" = must pass
+	}{
+		{
+			name: "overlapping partitions rejected even on disjoint groups",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.Between(1*sim.Second, 5*sim.Second).Partition(0)
+				s.Between(3*sim.Second, 8*sim.Second).Partition(1)
+				return s
+			},
+			wantErr: "action 0",
+		},
+		{
+			name: "sequential partitions allowed",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.Between(1*sim.Second, 3*sim.Second).Partition(0)
+				s.Between(3*sim.Second, 8*sim.Second).Partition(1)
+				return s
+			},
+		},
+		{
+			name: "lossy probability 1 rejected",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.At(sim.Second).LossyLink(0, 1)
+				return s
+			},
+			wantErr: "probability 1 outside (0,1)",
+		},
+		{
+			name: "dup probability 0 rejected",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.At(sim.Second).DupLink(0, 0)
+				return s
+			},
+			wantErr: "probability 0 outside (0,1)",
+		},
+		{
+			name: "empty partition group rejected",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.Between(1*sim.Second, 2*sim.Second).Partition()
+				return s
+			},
+			wantErr: "non-empty node group",
+		},
+		{
+			name: "negative node in group rejected",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.Between(1*sim.Second, 2*sim.Second).Partition(0, -3)
+				return s
+			},
+			wantErr: "negative node -3",
+		},
+		{
+			name: "permanent partition rejected",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.At(sim.Second).Partition(0)
+				return s
+			},
+			wantErr: "heal window",
+		},
+		{
+			name: "lossy and dup on the same node may overlap (different kinds)",
+			build: func() *Schedule {
+				s := &Schedule{}
+				s.Between(1*sim.Second, 5*sim.Second).LossyLink(0, 0.1).DupLink(0, 0.1)
+				return s
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestArmNetworkFaultsAppliesAndReverts(t *testing.T) {
+	k := sim.NewKernel(1)
+	tg := testTargets(k)
+	s := &Schedule{}
+	s.Between(1*sim.Millisecond, 3*sim.Millisecond).LossyLink(0, 0.25).DupLink(1, 0.1)
+	s.Between(2*sim.Millisecond, 4*sim.Millisecond).Partition(0)
+	if _, err := Arm(k, s, tg); err != nil {
+		t.Fatal(err)
+	}
+	type sample struct {
+		lossy, dup float64
+		cut        bool
+	}
+	probe := map[sim.Time]*sample{}
+	k.Spawn("probe", func(p *sim.Proc) {
+		for _, at := range []sim.Time{500 * sim.Microsecond, 1500 * sim.Microsecond,
+			2500 * sim.Microsecond, 3500 * sim.Microsecond, 5 * sim.Millisecond} {
+			p.Sleep(at - p.Now())
+			probe[at] = &sample{
+				lossy: tg.Net.Node(0).Lossy(),
+				dup:   tg.Net.Node(1).Dup(),
+				cut:   tg.Net.Partitioned(0, 1),
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := probe[500*sim.Microsecond]; got.lossy != 0 || got.dup != 0 || got.cut {
+		t.Errorf("before any window: %+v", got)
+	}
+	if got := probe[1500*sim.Microsecond]; got.lossy != 0.25 || got.dup != 0.1 || got.cut {
+		t.Errorf("inside lossy/dup window: %+v", got)
+	}
+	if got := probe[2500*sim.Microsecond]; got.lossy != 0.25 || !got.cut {
+		t.Errorf("inside both windows: %+v", got)
+	}
+	if got := probe[3500*sim.Microsecond]; got.lossy != 0 || got.dup != 0 || !got.cut {
+		t.Errorf("partition-only window: %+v", got)
+	}
+	if got := probe[5*sim.Millisecond]; got.lossy != 0 || got.dup != 0 || got.cut {
+		t.Errorf("after all windows: %+v", got)
+	}
+}

@@ -80,7 +80,28 @@ type Spec struct {
 	// from=2s,to=8s"). Fault injection is deterministic: the same spec and
 	// seed reproduce the same run byte for byte.
 	FaultSpec string
+	// Reliable arms the reliable point-to-point delivery layer (acks,
+	// timeout retransmit, receiver dedup) plus a collective timeout, so
+	// the run tolerates lossy/duplicating links and a partitioned
+	// collective surfaces a typed error instead of wedging. Without
+	// faults, arming it leaves every measured virtual time unchanged.
+	Reliable bool
+	// CollTimeout overrides the collective timeout armed by Reliable
+	// (zero keeps DefaultCollTimeout).
+	CollTimeout sim.Time
+	// Resilient selects the failover-capable collective write path
+	// (e10_resilient_write): aggregator crash detection, deterministic
+	// file-domain recompute over survivors, unacked-round replay.
+	// Requires Reliable (the failover protocol needs collective
+	// timeouts).
+	Resilient bool
 }
+
+// DefaultCollTimeout is the collective timeout Run arms when
+// Spec.Reliable is set and Spec.CollTimeout is zero. It bounds how long
+// a collective waits for a crashed or partitioned peer before returning
+// a typed timeout error.
+const DefaultCollTimeout = 200 * sim.Millisecond
 
 // DefaultSpec returns the paper's experiment parameters for a workload and
 // cell, on the full DEEP-ER profile.
@@ -173,6 +194,9 @@ func (s Spec) hints() mpi.Info {
 		info[core.HintDiscardFlag] = "enable"
 		info[core.HintCachePath] = "/scratch"
 	}
+	if s.Resilient {
+		info[adio.HintResilientWrite] = adio.HintEnable
+	}
 	for k, v := range s.ExtraHints {
 		info[k] = v
 	}
@@ -202,6 +226,17 @@ func Run(spec Spec) (*Result, error) {
 		cl.CoreEnv.SkipSync = true
 	case spec.Case == BurstBuffer:
 		cl.Env.Hooks = cl.BB.HooksFactory()
+	}
+	if spec.Resilient && !spec.Reliable {
+		return nil, fmt.Errorf("harness: Spec.Resilient requires Spec.Reliable (failover needs collective timeouts)")
+	}
+	if spec.Reliable {
+		cl.World.EnableReliable(mpi.ReliableConfig{})
+		ct := spec.CollTimeout
+		if ct == 0 {
+			ct = DefaultCollTimeout
+		}
+		cl.World.SetCollTimeout(ct)
 	}
 	var injector *fault.Injector
 	if spec.FaultSpec != "" {

@@ -29,7 +29,12 @@ func traceSpec() Spec {
 
 func exportTrace(t *testing.T) []byte {
 	t.Helper()
-	res, err := Run(traceSpec())
+	return exportTraceSpec(t, traceSpec())
+}
+
+func exportTraceSpec(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	res, err := Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

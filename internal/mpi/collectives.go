@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -69,6 +70,22 @@ func (w *World) internComm(members []int) *Comm {
 	return c
 }
 
+// NewSharedComm returns a communicator shared by every caller passing the
+// same members and scope, creating it on first use. Distinct scopes yield
+// distinct communicators even over identical membership — the resilient
+// two-phase write uses a fresh scope per failover epoch so retried
+// collectives start from clean rendezvous state instead of colliding with
+// the poisoned call indices of a timed-out epoch.
+func (w *World) NewSharedComm(members []int, scope string) *Comm {
+	key := scope + "|" + fmt.Sprint(members)
+	if c, ok := w.interned[key]; ok {
+		return c
+	}
+	c := w.NewComm(members)
+	w.interned[key] = c
+	return c
+}
+
 // SetCollModel selects the collective execution model.
 func (c *Comm) SetCollModel(m CollModel) { c.model = m }
 
@@ -88,49 +105,193 @@ func (c *Comm) Member(i int) *Rank { return c.ranks[i] }
 
 // collState tracks one in-flight collective operation.
 type collState struct {
+	comm    *Comm
+	n       int // call index within the communicator
 	kind    string
 	arrived int
+	got     []bool // which comm ranks have contributed
+	bytes   int64  // largest per-rank byte count seen, for held completion
 	inputs  [][]int64
 	waiters []*Rank
 	finish  sim.Time
+	err     error // terminal timeout error, set at most once
+	timer   *sim.Timer
+}
+
+// CollTimeoutError is the typed failure a timed-out collective surfaces:
+// the operation that stalled plus the world ranks that never arrived (dead,
+// partitioned away, or simply still busy).
+type CollTimeoutError struct {
+	Op      string
+	Missing []int
+}
+
+// ErrCollTimeout is the sentinel matched by errors.Is for any
+// *CollTimeoutError.
+var ErrCollTimeout = errors.New("mpi: collective timed out")
+
+func (e *CollTimeoutError) Error() string {
+	return fmt.Sprintf("mpi: %s timed out waiting for ranks %v", e.Op, e.Missing)
+}
+
+// Is makes errors.Is(err, ErrCollTimeout) match.
+func (e *CollTimeoutError) Is(target error) bool { return target == ErrCollTimeout }
+
+// cut reports whether an active network partition separates any two member
+// nodes of the communicator.
+func (c *Comm) cut() bool {
+	if len(c.ranks) < 2 {
+		return false
+	}
+	first := c.ranks[0].node.ID()
+	for _, r := range c.ranks[1:] {
+		if c.w.fabric.Partitioned(first, r.node.ID()) {
+			return true
+		}
+	}
+	return false
 }
 
 // sync is the analytic rendezvous: every rank contributes input, blocks
 // until all have arrived plus the modelled cost, and gets all inputs back.
+// Timeout errors (only possible with SetCollTimeout armed) are dropped;
+// error-aware callers use syncErr via the Try* wrappers.
 func (c *Comm) sync(r *Rank, kind string, perRankBytes int64, input []int64) [][]int64 {
+	inputs, _ := c.syncErr(r, kind, perRankBytes, input)
+	return inputs
+}
+
+// syncErr implements the rendezvous. When a collective timeout is armed, a
+// per-call cancellable timer bounds the wait, and a collective whose
+// communicator spans an active partition is held open — completing when
+// the partition heals, or failing all participants with *CollTimeoutError
+// when the timer fires first. On the fault-free path the timer is always
+// cancelled before firing, leaving virtual time untouched.
+func (c *Comm) syncErr(r *Rank, kind string, perRankBytes int64, input []int64) ([][]int64, error) {
+	r.checkKilled()
 	me := c.RankOf(r)
 	if me < 0 {
 		panic(fmt.Sprintf("mpi: rank %d not in communicator", r.id))
 	}
 	if len(c.ranks) == 1 {
-		return [][]int64{input}
+		return [][]int64{input}, nil
 	}
 	n := c.callIdx[me]
 	c.callIdx[me]++
 	st := c.states[n]
 	if st == nil {
-		st = &collState{kind: kind, inputs: make([][]int64, len(c.ranks))}
+		st = &collState{
+			comm: c, n: n, kind: kind,
+			inputs: make([][]int64, len(c.ranks)),
+			got:    make([]bool, len(c.ranks)),
+		}
 		c.states[n] = st
+		if d := c.w.collTimeout; d > 0 {
+			st.timer = c.w.k.AfterTimer(d, func() { c.w.timeoutColl(st) })
+		}
 	}
 	if st.kind != kind {
 		panic(fmt.Sprintf("mpi: mismatched collectives: rank %d calls %s, others called %s", r.id, kind, st.kind))
 	}
+	if st.err != nil {
+		// The call slot already timed out: a straggler fails immediately
+		// instead of parking for a timeout of its own, so a rank that fell
+		// one collective behind (slow open, receive deadline) resynchronises
+		// with the group at the next call rather than trailing forever.
+		return st.inputs, st.err
+	}
 	st.inputs[me] = input
+	st.got[me] = true
 	st.arrived++
-	if st.arrived < len(c.ranks) {
-		st.waiters = append(st.waiters, r)
-		r.proc.Park()
-		return st.inputs
+	if perRankBytes > st.bytes {
+		st.bytes = perRankBytes
 	}
-	// Last arrival: everyone resumes after the modelled completion time.
-	delete(c.states, n)
-	cost := c.collCost(kind, perRankBytes)
-	st.finish = r.proc.Now() + cost
+	if st.arrived == len(c.ranks) && !(st.timer != nil && c.cut()) {
+		// Last arrival, communicator reachable: everyone resumes after the
+		// modelled completion time.
+		delete(c.states, n)
+		if st.timer != nil {
+			st.timer.Stop()
+		}
+		cost := c.collCost(kind, perRankBytes)
+		st.finish = r.proc.Now() + cost
+		for _, wr := range st.waiters {
+			c.w.k.WakeAt(st.finish, wr.proc)
+		}
+		r.proc.Sleep(cost)
+		return st.inputs, nil
+	}
+	if st.arrived == len(c.ranks) {
+		// All arrived but a partition cuts the communicator: hold the
+		// collective open until the fabric heals or the timer fires.
+		delete(c.states, n)
+		c.w.heldColl = append(c.w.heldColl, st)
+	}
+	st.waiters = append(st.waiters, r)
+	r.collSt = st
+	r.proc.Park()
+	r.collSt = nil
+	r.checkKilled()
+	return st.inputs, st.err
+}
+
+// timeoutColl fails a stalled collective: every parked participant wakes
+// with the typed error, and the call slot is released. Kernel-callback
+// context.
+func (w *World) timeoutColl(st *collState) {
+	if st.err != nil {
+		return
+	}
+	var missing []int
+	for i, got := range st.got {
+		if !got {
+			missing = append(missing, st.comm.ranks[i].id)
+		}
+	}
+	st.err = &CollTimeoutError{Op: st.kind, Missing: missing}
+	// The errored state stays registered at its call index: ranks that have
+	// not arrived yet must observe the failure (and fail fast) instead of
+	// opening a fresh rendezvous that can only time out again.
+	w.dropHeld(st)
 	for _, wr := range st.waiters {
-		c.w.k.WakeAt(st.finish, wr.proc)
+		w.k.Wake(wr.proc)
 	}
-	r.proc.Sleep(cost)
-	return st.inputs
+	st.waiters = nil
+}
+
+// recheckHeld re-evaluates partition-held collectives after every topology
+// change, completing those whose communicator became reachable again.
+// Held states live in an insertion-ordered slice so completions (and their
+// wake events) replay deterministically.
+func (w *World) recheckHeld() {
+	kept := w.heldColl[:0]
+	for _, st := range w.heldColl {
+		c := st.comm
+		if st.err == nil && st.arrived == len(c.ranks) && !c.cut() {
+			if st.timer != nil {
+				st.timer.Stop()
+			}
+			cost := c.collCost(st.kind, st.bytes)
+			st.finish = w.k.Now() + cost
+			for _, wr := range st.waiters {
+				w.k.WakeAt(st.finish, wr.proc)
+			}
+			st.waiters = nil
+			continue
+		}
+		kept = append(kept, st)
+	}
+	w.heldColl = kept
+}
+
+// dropHeld removes st from the held-collective list.
+func (w *World) dropHeld(st *collState) {
+	for i, held := range w.heldColl {
+		if held == st {
+			w.heldColl = append(w.heldColl[:i], w.heldColl[i+1:]...)
+			return
+		}
+	}
 }
 
 // collCost models the completion time of a collective once all ranks have
@@ -162,8 +323,11 @@ func (c *Comm) collCost(kind string, n int64) sim.Time {
 
 // collSpan covers one collective call for both observability layers: a
 // tracer span on the rank's timeline plus a latency sample in the
-// per-operation histogram.
+// per-operation histogram. It also carries the entered/completed balance
+// behind World.CollBalance: a call that never reaches end (the rank parked
+// forever, or unwound by Kill) stays visible as an imbalance.
 type collSpan struct {
+	c  *Comm
 	sp trace.Span
 	h  *metrics.Histogram
 	t0 sim.Time
@@ -172,7 +336,8 @@ type collSpan struct {
 // beginColl opens a collSpan for one collective call (both execution models
 // route through the public wrappers).
 func (c *Comm) beginColl(r *Rank, name string) collSpan {
-	var cs collSpan
+	cs := collSpan{c: c}
+	c.w.collStarted[r.id]++
 	if tr := c.w.k.Tracer(); tr != nil {
 		cs.sp = tr.Begin(r.TraceTrack(tr), "mpi", name, int64(r.proc.Now()))
 	}
@@ -188,6 +353,7 @@ func (c *Comm) beginColl(r *Rank, name string) collSpan {
 
 // end closes the span at the rank's current virtual time.
 func (cs collSpan) end(r *Rank) {
+	cs.c.w.collDone[r.id]++
 	now := r.proc.Now()
 	cs.sp.End(int64(now))
 	cs.h.Observe(int64(now - cs.t0))
@@ -234,12 +400,30 @@ func (c *Comm) Allreduce(r *Rank, vals []int64, op Op) []int64 {
 		return c.msgAllreduce(r, vals, op)
 	}
 	inputs := c.sync(r, "allreduce", int64(8*len(vals)), vals)
-	out := make([]int64, len(vals))
-	copy(out, inputs[0])
-	for _, in := range inputs[1:] {
+	return foldInputs(inputs, vals, op)
+}
+
+// foldInputs reduces the contributed vectors element-wise, skipping slots
+// that are nil (possible only after a collective timeout left some ranks
+// unheard).
+func foldInputs(inputs [][]int64, own []int64, op Op) []int64 {
+	var out []int64
+	for _, in := range inputs {
+		if in == nil {
+			continue
+		}
+		if out == nil {
+			out = make([]int64, len(in))
+			copy(out, in)
+			continue
+		}
 		for j := range out {
 			out[j] = op(out[j], in[j])
 		}
+	}
+	if out == nil {
+		out = make([]int64, len(own))
+		copy(out, own)
 	}
 	return out
 }
@@ -274,7 +458,9 @@ func (c *Comm) Alltoall(r *Rank, send []int64) []int64 {
 	me := c.RankOf(r)
 	out := make([]int64, len(c.ranks))
 	for i, in := range inputs {
-		out[i] = in[me]
+		if in != nil {
+			out[i] = in[me]
+		}
 	}
 	return out
 }
@@ -292,6 +478,81 @@ func (c *Comm) Bcast(r *Rank, root int, vals []int64) []int64 {
 	}
 	inputs := c.sync(r, "bcast", n, vals)
 	return inputs[root]
+}
+
+// ---- Error-aware (Try) variants ----
+//
+// The Try* collectives surface a *CollTimeoutError instead of silently
+// returning partial data when SetCollTimeout is armed and the operation
+// stalls (dead ranks, network partition). Under the MessagePassing model
+// they fall back to the plain algorithms, which have no timeout support —
+// degraded-mode callers (the resilient two-phase write) require Analytic.
+
+// TryBarrier is Barrier with timeout surfacing.
+func (c *Comm) TryBarrier(r *Rank) error {
+	sp := c.beginColl(r, "barrier")
+	defer func() { sp.end(r) }()
+	if c.model == MessagePassing {
+		c.msgBarrier(r)
+		return nil
+	}
+	_, err := c.syncErr(r, "barrier", 0, nil)
+	return err
+}
+
+// TryAllreduce is Allreduce with timeout surfacing; on error the partial
+// result is nil.
+func (c *Comm) TryAllreduce(r *Rank, vals []int64, op Op) ([]int64, error) {
+	sp := c.beginColl(r, "allreduce")
+	defer func() { sp.end(r) }()
+	if c.model == MessagePassing {
+		return c.msgAllreduce(r, vals, op), nil
+	}
+	inputs, err := c.syncErr(r, "allreduce", int64(8*len(vals)), vals)
+	if err != nil {
+		return nil, err
+	}
+	return foldInputs(inputs, vals, op), nil
+}
+
+// TryAllgather is Allgather with timeout surfacing.
+func (c *Comm) TryAllgather(r *Rank, vals []int64) ([][]int64, error) {
+	sp := c.beginColl(r, "allgather")
+	defer func() { sp.end(r) }()
+	if c.model == MessagePassing {
+		return c.msgAllgather(r, vals), nil
+	}
+	inputs, err := c.syncErr(r, "allgather", int64(8*len(vals)), vals)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, len(inputs))
+	copy(out, inputs)
+	return out, nil
+}
+
+// TryAlltoall is Alltoall with timeout surfacing.
+func (c *Comm) TryAlltoall(r *Rank, send []int64) ([]int64, error) {
+	if len(send) != len(c.ranks) {
+		panic("mpi: alltoall send vector must have comm-size entries")
+	}
+	sp := c.beginColl(r, "alltoall")
+	defer func() { sp.end(r) }()
+	if c.model == MessagePassing {
+		return c.msgAlltoall(r, send), nil
+	}
+	inputs, err := c.syncErr(r, "alltoall", 8, send)
+	if err != nil {
+		return nil, err
+	}
+	me := c.RankOf(r)
+	out := make([]int64, len(c.ranks))
+	for i, in := range inputs {
+		if in != nil {
+			out[i] = in[me]
+		}
+	}
+	return out, nil
 }
 
 // ---- Message-passing implementations ----

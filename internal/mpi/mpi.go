@@ -10,6 +10,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/netsim"
@@ -31,6 +32,18 @@ type World struct {
 	perNode  int
 	comm     *Comm
 	interned map[string]*Comm // Split results, shared across members
+
+	rel         *relState    // reliable-delivery layer, nil when disabled
+	collTimeout sim.Time     // collective timeout; 0 = wait forever
+	heldColl    []*collState // collectives held open by a partition
+	onChangeReg bool         // partition observer registered
+	dead        map[int]bool // ranks removed by Kill
+
+	// Per-rank collective accounting: calls entered vs calls completed.
+	// A live rank with started != done after the run is wedged inside a
+	// collective — the chaos harness's no_stuck_collective oracle.
+	collStarted []int64
+	collDone    []int64
 }
 
 // NewWorld creates ranksPerNode ranks on every node of the fabric, in
@@ -50,7 +63,11 @@ func NewWorldOn(k *sim.Kernel, fabric *netsim.Fabric, ranksPerNode, computeNodes
 	if computeNodes < 1 || computeNodes > fabric.Nodes() {
 		panic("mpi: compute node count out of range")
 	}
-	w := &World{k: k, fabric: fabric, perNode: ranksPerNode, interned: make(map[string]*Comm)}
+	w := &World{
+		k: k, fabric: fabric, perNode: ranksPerNode,
+		interned: make(map[string]*Comm),
+		dead:     make(map[int]bool),
+	}
 	n := computeNodes * ranksPerNode
 	for i := 0; i < n; i++ {
 		w.ranks = append(w.ranks, &Rank{
@@ -60,8 +77,24 @@ func NewWorldOn(k *sim.Kernel, fabric *netsim.Fabric, ranksPerNode, computeNodes
 		})
 	}
 	w.comm = newComm(w, w.ranks)
+	w.collStarted = make([]int64, n)
+	w.collDone = make([]int64, n)
 	return w
 }
+
+// CollBalance returns how many collective calls rank id entered and how
+// many it completed (normally or with a surfaced error). The two differ
+// only while the rank is inside a collective — or, after the run, when it
+// is wedged in one forever.
+func (w *World) CollBalance(id int) (started, done int64) {
+	return w.collStarted[id], w.collDone[id]
+}
+
+// SkewCollAccounting artificially unbalances rank id's collective
+// accounting, as if the rank had entered a collective and never returned.
+// The chaos harness uses it to regression-test its no_stuck_collective
+// oracle; real code has no business calling it.
+func (w *World) SkewCollAccounting(id int) { w.collStarted[id]++ }
 
 // Kernel returns the simulation kernel.
 func (w *World) Kernel() *sim.Kernel { return w.k }
@@ -85,6 +118,13 @@ func (w *World) Run(body func(r *Rank)) error {
 	for _, r := range w.ranks {
 		r := r
 		w.k.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			// A killed rank unwinds via the errKilled panic sentinel; its
+			// process ends here as if the node's OS reaped it.
+			defer func() {
+				if rec := recover(); rec != nil && rec != errKilled {
+					panic(rec)
+				}
+			}()
 			r.proc = p
 			if tr := w.k.Tracer(); tr != nil {
 				p.SetTraceTrack(r.TraceTrack(tr))
@@ -95,6 +135,85 @@ func (w *World) Run(body func(r *Rank)) error {
 	return w.k.Run()
 }
 
+// errKilled unwinds a killed rank's process from inside an MPI call. It is
+// recovered by the Run wrapper, never seen by applications.
+var errKilled = errors.New("mpi: rank killed")
+
+// Kill removes rank id from the world, modelling its process dying with the
+// node: a rank parked inside an MPI call (Wait or a collective) is unwound
+// immediately; a rank busy elsewhere dies at its next MPI call. Messages
+// addressed to a dead rank are discarded. Killing a dead rank is a no-op.
+func (w *World) Kill(id int) {
+	if w.dead[id] {
+		return
+	}
+	w.dead[id] = true
+	r := w.ranks[id]
+	if r.proc == nil {
+		return // never started
+	}
+	switch {
+	case r.waitReq != nil:
+		// Detach from the request so a later completion does not wake a
+		// corpse, then unwind the rank.
+		r.waitReq.waiter = nil
+		r.waitReq = nil
+		w.k.Wake(r.proc)
+	case r.collSt != nil:
+		// Drop out of the rendezvous wait list; the rank's contribution
+		// (already recorded) stands, so survivors still complete.
+		st := r.collSt
+		r.collSt = nil
+		for i, wr := range st.waiters {
+			if wr == r {
+				st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+				break
+			}
+		}
+		w.k.Wake(r.proc)
+	}
+	// Ranks parked elsewhere (NIC/device stations, sleeps) finish that
+	// operation and die at the next MPI checkpoint.
+}
+
+// KillNode kills every rank hosted on the given node.
+func (w *World) KillNode(node int) {
+	for _, r := range w.ranks {
+		if r.node.ID() == node {
+			w.Kill(r.id)
+		}
+	}
+}
+
+// Alive reports whether rank id has not been killed.
+func (w *World) Alive(id int) bool { return !w.dead[id] }
+
+// checkKilled is the per-call death checkpoint: a dead rank entering (or
+// resuming inside) an MPI call unwinds instead of proceeding.
+func (r *Rank) checkKilled() {
+	if r.w.dead[r.id] {
+		panic(errKilled)
+	}
+}
+
+// SetCollTimeout bounds how long a collective waits for its last arrival
+// (and for any network partition cutting the communicator to heal) before
+// failing all participants with a *CollTimeoutError. d = 0 (the default)
+// restores wait-forever semantics. The timeout is armed per collective via
+// a cancellable kernel timer, so on the fault-free path — where every
+// collective completes and stops its timer — virtual time, event counts
+// and the golden trace are byte-identical to a world without timeouts.
+func (w *World) SetCollTimeout(d sim.Time) {
+	w.collTimeout = d
+	if d > 0 && !w.onChangeReg {
+		w.fabric.OnChange(w.recheckHeld)
+		w.onChangeReg = true
+	}
+}
+
+// CollTimeout returns the configured collective timeout (0 = disabled).
+func (w *World) CollTimeout() sim.Time { return w.collTimeout }
+
 // Rank is one MPI process.
 type Rank struct {
 	w     *World
@@ -104,6 +223,11 @@ type Rank struct {
 	mbox  mailbox
 	ttk   trace.TrackID
 	ttReg bool
+
+	// Tracked park sites, so Kill can unwind a rank blocked inside an MPI
+	// call without double-resuming processes parked elsewhere.
+	waitReq *Request   // non-nil while parked in Wait
+	collSt  *collState // non-nil while parked in a collective rendezvous
 }
 
 // TraceTrack lazily registers and returns this rank's trace timeline.

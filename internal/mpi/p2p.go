@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -18,6 +19,8 @@ type Message struct {
 	Size int64
 	Data []byte
 	Vals []int64
+
+	relSeq uint64 // reliable-delivery stream sequence number
 }
 
 // Request is a nonblocking-operation handle (MPI_Request). A Request is
@@ -66,12 +69,16 @@ func (q *Request) CompleteWithError(err error) {
 // Wait blocks rank r until the request completes and returns the received
 // message (nil for send and generalized requests).
 func (r *Rank) Wait(q *Request) *Message {
+	r.checkKilled()
 	if !q.done {
 		if q.waiter != nil {
 			panic("mpi: two ranks waiting on one request")
 		}
 		q.waiter = r
+		r.waitReq = q
 		r.proc.Park()
+		r.waitReq = nil
+		r.checkKilled()
 	}
 	return q.msg
 }
@@ -103,8 +110,11 @@ func match(src, tag int, m *Message) bool {
 }
 
 // deliver hands an arrived message to the earliest matching posted receive,
-// or queues it as unexpected.
+// or queues it as unexpected. Messages for a dead rank are discarded.
 func (r *Rank) deliver(m *Message) {
+	if r.w.dead[r.id] {
+		return
+	}
 	for i, pr := range r.mbox.posted {
 		if match(pr.src, pr.tag, m) {
 			r.mbox.posted = append(r.mbox.posted[:i], r.mbox.posted[i+1:]...)
@@ -119,6 +129,7 @@ func (r *Rank) deliver(m *Message) {
 // Irecv posts a nonblocking receive matching (src, tag); wildcards
 // AnySource and AnyTag are honoured in posting order.
 func (r *Rank) Irecv(src, tag int) *Request {
+	r.checkKilled()
 	req := &Request{w: r.w}
 	for i, m := range r.mbox.unexpected {
 		if match(src, tag, m) {
@@ -141,6 +152,7 @@ func (r *Rank) Recv(src, tag int) *Message {
 // completes when the message has left the sending node (eager semantics);
 // delivery happens after the fabric latency and receiver-side ejection.
 func (r *Rank) Isend(dst, tag int, m Message) *Request {
+	r.checkKilled()
 	if dst < 0 || dst >= len(r.w.ranks) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
@@ -158,43 +170,114 @@ func (r *Rank) Isend(dst, tag int, m Message) *Request {
 	m.Tag = tag
 	req := &Request{w: r.w}
 	dstRank := r.w.ranks[dst]
-	srcNode, dstNode := r.node, dstRank.node
-	// Trace the message lifetime as an async span: begun on the sender's
-	// timeline at Isend, ended on the receiver's timeline at delivery.
-	tr := r.w.k.Tracer()
+	if r.node == dstRank.node {
+		// Same-node messages never touch the wire: no fate, no sequence
+		// numbers, identical to the pre-reliability fast path.
+		r.w.sendLocal(r, dstRank, m, req)
+		return req
+	}
+	fate := r.w.fabric.MessageFate(r.node.ID(), dstRank.node.ID())
+	if rel := r.w.rel; rel != nil {
+		k := relKey{src: r.id, dst: dst, tag: tag}
+		m.relSeq = rel.nextSeq[k]
+		rel.nextSeq[k]++
+		rel.retain(k, m)
+	}
+	r.w.sendPhysical(m, req, fate, false)
+	return req
+}
+
+// sendLocal runs the intra-node message path (shared memory copy).
+func (w *World) sendLocal(r *Rank, dstRank *Rank, m Message, req *Request) {
+	tr := w.k.Tracer()
 	var aid uint64
 	if tr != nil {
 		aid = tr.AsyncBegin(r.TraceTrack(tr), "mpi", "p2p", int64(r.proc.Now()),
-			trace.I("dst", int64(dst)), trace.I("bytes", m.Size))
+			trace.I("dst", int64(m.Dst)), trace.I("bytes", m.Size))
 	}
-	// The same lifetime — Isend to delivery — is one sample in the p2p
-	// latency histogram.
 	var p2pNs *metrics.Histogram
 	var t0 sim.Time
-	if mt := r.w.k.Metrics(); mt != nil {
+	if mt := w.k.Metrics(); mt != nil {
 		layer := metrics.L(metrics.KeyLayer, "mpi")
 		mt.Counter("mpi_p2p_msgs_total", layer).Inc()
 		mt.Counter("mpi_p2p_bytes_total", layer).Add(m.Size)
 		p2pNs = mt.Histogram("mpi_p2p_ns", layer)
 		t0 = r.proc.Now()
 	}
-	r.w.k.Spawn(fmt.Sprintf("msg.%d->%d.t%d", r.id, dst, tag), func(p *sim.Proc) {
-		if srcNode == dstNode {
-			srcNode.LocalCopy(p, m.Size)
-			req.Complete()
-		} else {
-			srcNode.Inject(p, m.Size)
-			req.Complete()
-			p.Sleep(r.w.fabric.Latency())
-			dstNode.Eject(p, m.Size)
-		}
+	node := r.node
+	w.k.Spawn(fmt.Sprintf("msg.%d->%d.t%d", m.Src, m.Dst, m.Tag), func(p *sim.Proc) {
+		node.LocalCopy(p, m.Size)
+		req.Complete()
 		if tr != nil {
 			tr.AsyncEnd(dstRank.TraceTrack(tr), "mpi", "p2p", aid, int64(p.Now()))
 		}
 		p2pNs.Observe(int64(p.Now() - t0))
 		dstRank.deliver(&m)
 	})
-	return req
+}
+
+// sendPhysical runs the inter-node wire path for an initial send (req
+// non-nil, retrans false: full trace/metric accounting, byte-identical to
+// the pre-reliability code when the fate is FateDeliver) or a retransmit
+// (req nil, retrans true: the NIC and wire are charged but the logical
+// message was already accounted for). A dropped or partitioned message
+// charges the sender's injection port and vanishes; the reliable layer's
+// loss reaction schedules the retransmit.
+func (w *World) sendPhysical(m Message, req *Request, fate netsim.Fate, retrans bool) {
+	srcRank, dstRank := w.ranks[m.Src], w.ranks[m.Dst]
+	srcNode, dstNode := srcRank.node, dstRank.node
+	var tr *trace.Tracer
+	var aid uint64
+	var p2pNs *metrics.Histogram
+	var t0 sim.Time
+	if !retrans {
+		// Trace the message lifetime as an async span: begun on the
+		// sender's timeline at Isend, ended on the receiver's timeline at
+		// delivery (or on the sender's at the drop point).
+		if tr = w.k.Tracer(); tr != nil {
+			aid = tr.AsyncBegin(srcRank.TraceTrack(tr), "mpi", "p2p", int64(w.k.Now()),
+				trace.I("dst", int64(m.Dst)), trace.I("bytes", m.Size))
+		}
+		// The same lifetime — Isend to delivery — is one sample in the p2p
+		// latency histogram.
+		if mt := w.k.Metrics(); mt != nil {
+			layer := metrics.L(metrics.KeyLayer, "mpi")
+			mt.Counter("mpi_p2p_msgs_total", layer).Inc()
+			mt.Counter("mpi_p2p_bytes_total", layer).Add(m.Size)
+			p2pNs = mt.Histogram("mpi_p2p_ns", layer)
+			t0 = w.k.Now()
+		}
+	}
+	name := fmt.Sprintf("msg.%d->%d.t%d", m.Src, m.Dst, m.Tag)
+	if retrans {
+		name = "re" + name
+	}
+	w.k.Spawn(name, func(p *sim.Proc) {
+		srcNode.Inject(p, m.Size)
+		if req != nil {
+			req.Complete() // eager semantics: the send buffer has left the node
+		}
+		if fate == netsim.FateDrop || fate == netsim.FatePartition {
+			srcNode.CountDrop()
+			if tr != nil {
+				tr.AsyncEnd(srcRank.TraceTrack(tr), "mpi", "p2p", aid, int64(p.Now()))
+			}
+			w.onLost(m)
+			return
+		}
+		p.Sleep(w.fabric.Latency())
+		dstNode.Eject(p, m.Size)
+		if tr != nil {
+			tr.AsyncEnd(dstRank.TraceTrack(tr), "mpi", "p2p", aid, int64(p.Now()))
+		}
+		p2pNs.Observe(int64(p.Now() - t0))
+		w.arrived(dstRank, &m)
+		if fate == netsim.FateDup {
+			dstNode.CountDup()
+			dup := m
+			w.arrived(dstRank, &dup)
+		}
+	})
 }
 
 // Send is a blocking send (Isend + Wait).

@@ -1,0 +1,275 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// This file is the reliable-delivery layer: per-(src, dst, tag) stream
+// sequence numbers assigned at Isend, sender-side retention of every
+// in-flight message until the receiver's ack, retransmission on loss with
+// capped exponential backoff and a bounded attempt budget, and
+// receiver-side dedup of duplicated (or re-delivered) copies.
+//
+// Acks are modelled as zero-cost control-plane messages: the receiving NIC
+// acknowledges synchronously at delivery time, and acks are never lost.
+// This is deliberately simpler than a full sliding-window protocol — the
+// simulator decides a message's fate (deliver/drop/duplicate) at send time,
+// so a retransmit timer only ever needs to be armed for messages that were
+// actually lost, and a successfully delivered message is acked exactly
+// once. The observable behaviour is that of a correctly tuned reliable
+// transport: no spurious retransmits, no perturbation of fault-free runs,
+// and bounded retransmission under loss or partition.
+
+// ErrRecvTimeout is returned by WaitDeadline when no matching message
+// arrives within the deadline.
+var ErrRecvTimeout = errors.New("mpi: receive timed out")
+
+// ReliableConfig tunes the reliable-delivery layer. Zero fields take the
+// defaults below.
+type ReliableConfig struct {
+	RetransmitAfter sim.Time // initial retransmit backoff (default 10ms)
+	BackoffCap      sim.Time // backoff ceiling (default 80ms)
+	MaxAttempts     int      // retransmits per message before giving up (default 8)
+}
+
+// Defaults for ReliableConfig.
+const (
+	DefaultRetransmitAfter = 10 * sim.Millisecond
+	DefaultBackoffCap      = 80 * sim.Millisecond
+	DefaultMaxAttempts     = 8
+)
+
+// relKey identifies one message stream.
+type relKey struct {
+	src, dst, tag int
+}
+
+// outMsg is one unacked message retained by the sender.
+type outMsg struct {
+	msg      Message
+	attempts int      // retransmissions so far
+	backoff  sim.Time // next retransmit delay
+	timer    *sim.Timer
+}
+
+// relState is the world-wide reliable-transport bookkeeping (the simulation
+// is single-threaded, so one shared structure stands in for every rank's
+// protocol endpoint).
+type relState struct {
+	cfg         ReliableConfig
+	nextSeq     map[relKey]uint64              // sender: next seq per stream
+	outstanding map[relKey]map[uint64]*outMsg  // sender: unacked messages
+	nextDeliver map[relKey]uint64              // receiver: next in-order seq
+	pending     map[relKey]map[uint64]*Message // receiver: out-of-order buffer
+	retransmits int64
+	dedups      int64
+	giveUps     int64
+}
+
+// EnableReliable arms the reliable-delivery layer for all inter-node
+// point-to-point traffic (same-node messages never touch the wire and need
+// no protection). Must be called before Run.
+func (w *World) EnableReliable(cfg ReliableConfig) {
+	if cfg.RetransmitAfter <= 0 {
+		cfg.RetransmitAfter = DefaultRetransmitAfter
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = DefaultBackoffCap
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	w.rel = &relState{
+		cfg:         cfg,
+		nextSeq:     make(map[relKey]uint64),
+		outstanding: make(map[relKey]map[uint64]*outMsg),
+		nextDeliver: make(map[relKey]uint64),
+		pending:     make(map[relKey]map[uint64]*Message),
+	}
+}
+
+// ReliableEnabled reports whether the reliable-delivery layer is armed.
+func (w *World) ReliableEnabled() bool { return w.rel != nil }
+
+// Retransmits returns how many messages were retransmitted so far.
+func (w *World) Retransmits() int64 {
+	if w.rel == nil {
+		return 0
+	}
+	return w.rel.retransmits
+}
+
+// DedupDrops returns how many duplicate deliveries the receiver side
+// absorbed.
+func (w *World) DedupDrops() int64 {
+	if w.rel == nil {
+		return 0
+	}
+	return w.rel.dedups
+}
+
+// Outstanding returns how many sent messages are still retained awaiting
+// an ack (lost messages whose retransmit budget ran out are released).
+func (w *World) Outstanding() int {
+	if w.rel == nil {
+		return 0
+	}
+	n := 0
+	for _, m := range w.rel.outstanding {
+		n += len(m)
+	}
+	return n
+}
+
+// retain registers a freshly sequenced message as awaiting its ack.
+func (rel *relState) retain(k relKey, m Message) {
+	if rel.outstanding[k] == nil {
+		rel.outstanding[k] = make(map[uint64]*outMsg)
+	}
+	rel.outstanding[k][m.relSeq] = &outMsg{msg: m, backoff: rel.cfg.RetransmitAfter}
+}
+
+// ack releases the retained copy of (k, seq); the receiver has it.
+func (rel *relState) ack(k relKey, seq uint64) {
+	om := rel.outstanding[k][seq]
+	if om == nil {
+		return
+	}
+	if om.timer != nil {
+		om.timer.Stop()
+	}
+	delete(rel.outstanding[k], seq)
+}
+
+// onLost is the sender-side loss reaction: schedule a retransmit with the
+// stream's current backoff, doubling it up to the cap, or give the message
+// up once the attempt budget is spent (higher layers — collective timeouts
+// and the ADIO failover — own recovery from there).
+func (w *World) onLost(m Message) {
+	rel := w.rel
+	if rel == nil {
+		return
+	}
+	k := relKey{src: m.Src, dst: m.Dst, tag: m.Tag}
+	om := rel.outstanding[k][m.relSeq]
+	if om == nil {
+		return // already acked or given up
+	}
+	if om.attempts >= rel.cfg.MaxAttempts {
+		rel.giveUps++
+		delete(rel.outstanding[k], m.relSeq)
+		return
+	}
+	om.attempts++
+	d := om.backoff
+	om.backoff *= 2
+	if om.backoff > rel.cfg.BackoffCap {
+		om.backoff = rel.cfg.BackoffCap
+	}
+	om.timer = w.k.AfterTimer(d, func() {
+		if rel.outstanding[k][m.relSeq] != om {
+			return // acked in the meantime
+		}
+		rel.retransmits++
+		if mt := w.k.Metrics(); mt != nil {
+			mt.Counter("mpi_retransmits_total", metrics.L(metrics.KeyLayer, "mpi")).Inc()
+		}
+		srcNode := w.ranks[m.Src].node
+		dstNode := w.ranks[m.Dst].node
+		fate := w.fabric.MessageFate(srcNode.ID(), dstNode.ID())
+		w.sendPhysical(om.msg, nil, fate, true)
+	})
+}
+
+// arrived runs the receiver-side protocol at delivery time: dedup,
+// in-order resequencing, ack, then hand the message(s) to the rank's
+// mailbox. A message arriving ahead of a lost predecessor is acked (it has
+// been received) but buffered until the retransmitted gap fills, so every
+// stream delivers in send order. Messages for dead ranks are still acked —
+// the NIC is alive even when the process is not — and then discarded by
+// deliver. A stream whose gap message exhausted its retransmit budget
+// stalls; recovery from that belongs to the collective-timeout and
+// failover layers above.
+func (w *World) arrived(dst *Rank, m *Message) {
+	rel := w.rel
+	if rel == nil {
+		dst.deliver(m)
+		return
+	}
+	k := relKey{src: m.Src, dst: m.Dst, tag: m.Tag}
+	next := rel.nextDeliver[k]
+	if m.relSeq < next || (rel.pending[k] != nil && rel.pending[k][m.relSeq] != nil) {
+		rel.dedups++
+		if mt := w.k.Metrics(); mt != nil {
+			mt.Counter("mpi_dedup_drops_total", metrics.L(metrics.KeyLayer, "mpi")).Inc()
+		}
+		return
+	}
+	rel.ack(k, m.relSeq)
+	if m.relSeq > next {
+		if rel.pending[k] == nil {
+			rel.pending[k] = make(map[uint64]*Message)
+		}
+		rel.pending[k][m.relSeq] = m
+		return
+	}
+	rel.nextDeliver[k] = next + 1
+	dst.deliver(m)
+	for {
+		nm := rel.pending[k][rel.nextDeliver[k]]
+		if nm == nil {
+			return
+		}
+		delete(rel.pending[k], rel.nextDeliver[k])
+		rel.nextDeliver[k]++
+		dst.deliver(nm)
+	}
+}
+
+// WaitDeadline waits for req like Wait but gives up after d, cancelling
+// the posted receive so a late message cannot complete the abandoned
+// request. The deadline timer is cancellable: when the request completes
+// in time (the fault-free path) the timer leaves no trace in virtual time.
+func (r *Rank) WaitDeadline(q *Request, d sim.Time) (*Message, error) {
+	r.checkKilled()
+	if q.done {
+		return q.msg, q.err
+	}
+	if q.waiter != nil {
+		panic("mpi: two ranks waiting on one request")
+	}
+	timedOut := false
+	tm := r.w.k.AfterTimer(d, func() {
+		if q.done || q.waiter != r {
+			return // completed, or the waiter was detached (e.g. Kill)
+		}
+		timedOut = true
+		q.waiter = nil
+		r.w.k.Wake(r.proc)
+	})
+	q.waiter = r
+	r.waitReq = q
+	r.proc.Park()
+	r.waitReq = nil
+	r.checkKilled()
+	tm.Stop()
+	if timedOut && !q.done {
+		r.cancelRecv(q)
+		return nil, fmt.Errorf("%w after %v", ErrRecvTimeout, d)
+	}
+	return q.msg, q.err
+}
+
+// cancelRecv withdraws the posted receive backing q, if any.
+func (r *Rank) cancelRecv(q *Request) {
+	for i, pr := range r.mbox.posted {
+		if pr.req == q {
+			r.mbox.posted = append(r.mbox.posted[:i], r.mbox.posted[i+1:]...)
+			return
+		}
+	}
+}

@@ -47,6 +47,12 @@ type Fabric struct {
 	k     *sim.Kernel
 	cfg   Config
 	nodes []*Node
+
+	// partition, when non-nil, is the set of node ids currently cut from
+	// the rest of the fabric. Messages crossing the cut are dropped at the
+	// sender; messages within one side flow normally.
+	partition map[int]bool
+	onChange  []func()
 }
 
 // New builds a fabric with cfg.Nodes nodes.
@@ -81,6 +87,84 @@ func (f *Fabric) Node(i int) *Node { return f.nodes[i] }
 // Latency returns the configured fabric latency.
 func (f *Fabric) Latency() sim.Time { return f.cfg.Latency }
 
+// SetPartition cuts the fabric between group and the remaining nodes (on
+// true), or heals the cut (on false, group ignored). While a partition is
+// up, any message whose source and destination fall on opposite sides is
+// dropped at the sender's NIC. Registered OnChange observers run after the
+// topology flips so held collectives can re-evaluate reachability.
+func (f *Fabric) SetPartition(group []int, on bool) {
+	if on {
+		f.partition = make(map[int]bool, len(group))
+		for _, id := range group {
+			if id < 0 || id >= len(f.nodes) {
+				panic(fmt.Sprintf("netsim: partition node %d outside [0,%d)", id, len(f.nodes)))
+			}
+			f.partition[id] = true
+		}
+	} else {
+		f.partition = nil
+	}
+	for _, fn := range f.onChange {
+		fn()
+	}
+}
+
+// Partitioned reports whether nodes a and b are currently on opposite sides
+// of a partition.
+func (f *Fabric) Partitioned(a, b int) bool {
+	if f.partition == nil || a == b {
+		return false
+	}
+	return f.partition[a] != f.partition[b]
+}
+
+// Isolated reports whether node id is currently cut from at least one other
+// node of the fabric.
+func (f *Fabric) Isolated(id int) bool {
+	if f.partition == nil {
+		return false
+	}
+	in := f.partition[id]
+	for other := range f.nodes {
+		if other != id && f.partition[other] != in {
+			return true
+		}
+	}
+	return false
+}
+
+// OnChange registers fn to run after every partition topology change.
+func (f *Fabric) OnChange(fn func()) { f.onChange = append(f.onChange, fn) }
+
+// Fate classifies what the fabric does to one message attempt.
+type Fate int
+
+const (
+	FateDeliver   Fate = iota // message arrives normally
+	FateDrop                  // lost on the wire (lossy link)
+	FateDup                   // delivered, then delivered again
+	FatePartition             // dropped at the cut between partitioned sides
+)
+
+// MessageFate decides, consuming the kernel RNG only when a lossy/dup
+// probability is armed on the source node, what happens to a message from
+// src to dst. Partition checks are free (no randomness), so an idle fabric
+// with no faults armed draws nothing — determinism of fault-free runs is
+// preserved.
+func (f *Fabric) MessageFate(src, dst int) Fate {
+	if f.Partitioned(src, dst) {
+		return FatePartition
+	}
+	n := f.nodes[src]
+	if n.dropP > 0 && f.k.Rand().Float64() < n.dropP {
+		return FateDrop
+	}
+	if n.dupP > 0 && f.k.Rand().Float64() < n.dupP {
+		return FateDup
+	}
+	return FateDeliver
+}
+
 // Node is one compute node's network endpoint.
 type Node struct {
 	id     int
@@ -89,6 +173,8 @@ type Node struct {
 	eje    *sim.Station
 	mem    *sim.Station
 	slow   float64 // link speed factor in (0, 1]; 1 = nominal
+	dropP  float64 // probability an outbound message is lost; 0 = reliable
+	dupP   float64 // probability an outbound message is duplicated
 
 	// Metric handles, registered lazily on first use (the registry may be
 	// attached to the kernel after the fabric is built).
@@ -99,6 +185,8 @@ type Node struct {
 	mInjNs *metrics.Histogram // injection-port occupancy incl. queueing
 	mEjeNs *metrics.Histogram // ejection-port occupancy incl. queueing
 	mDegr  *metrics.Counter   // SetDegraded transitions
+	mDrops *metrics.Counter   // messages lost to a lossy link or partition
+	mDups  *metrics.Counter   // messages duplicated by a dup link
 }
 
 // metricsOn resolves (and caches) this node's metric handles; it returns
@@ -117,6 +205,8 @@ func (n *Node) metricsOn() bool {
 		n.mInjNs = m.Histogram("net_inj_ns", layer, node)
 		n.mEjeNs = m.Histogram("net_eje_ns", layer, node)
 		n.mDegr = m.Counter("net_degrade_events_total", layer, node)
+		n.mDrops = m.Counter("net_msgs_dropped_total", layer, node)
+		n.mDups = m.Counter("net_msgs_duplicated_total", layer, node)
 		n.mreg = true
 	}
 	return true
@@ -140,6 +230,50 @@ func (n *Node) SetDegraded(factor float64) {
 
 // Degraded returns the current link speed factor.
 func (n *Node) Degraded() float64 { return n.slow }
+
+// SetLossy arms (or, with p == 0, disarms) probabilistic message loss on
+// this node's outbound link. p must lie in [0, 1).
+func (n *Node) SetLossy(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netsim: loss probability %v outside [0, 1)", p))
+	}
+	n.dropP = p
+}
+
+// Lossy returns the current outbound loss probability.
+func (n *Node) Lossy() float64 { return n.dropP }
+
+// SetDup arms (or, with p == 0, disarms) probabilistic message duplication
+// on this node's outbound link. p must lie in [0, 1).
+func (n *Node) SetDup(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netsim: dup probability %v outside [0, 1)", p))
+	}
+	n.dupP = p
+}
+
+// Dup returns the current outbound duplication probability.
+func (n *Node) Dup() float64 { return n.dupP }
+
+// Isolated reports whether this node is on the cut side of an active
+// partition (see Fabric.Isolated).
+func (n *Node) Isolated() bool { return n.fabric.Isolated(n.id) }
+
+// CountDrop records one message lost on this node's outbound link (lossy
+// link or partition cut). The bytes never reach the wire, so only the
+// counter moves.
+func (n *Node) CountDrop() {
+	if n.metricsOn() {
+		n.mDrops.Inc()
+	}
+}
+
+// CountDup records one message duplicated on this node's outbound link.
+func (n *Node) CountDup() {
+	if n.metricsOn() {
+		n.mDups.Inc()
+	}
+}
 
 // stretch scales a nominal NIC duration by the degradation factor.
 func (n *Node) stretch(d sim.Time) sim.Time {

@@ -165,3 +165,86 @@ func TestDegradedLinkSlowsTransfer(t *testing.T) {
 	}()
 	f2.Node(0).SetDegraded(0)
 }
+
+func TestMessageFatePartition(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := New(k, testConfig(4))
+	if f.Partitioned(0, 2) || f.Isolated(0) {
+		t.Fatal("fresh fabric must not be partitioned")
+	}
+	f.SetPartition([]int{0, 1}, true)
+	if !f.Partitioned(0, 2) || !f.Partitioned(3, 1) {
+		t.Fatal("nodes across the cut must be partitioned")
+	}
+	if f.Partitioned(0, 1) || f.Partitioned(2, 3) {
+		t.Fatal("nodes on the same side must not be partitioned")
+	}
+	if !f.Node(0).Isolated() || !f.Node(2).Isolated() {
+		t.Fatal("both sides of a cut see themselves isolated")
+	}
+	if got := f.MessageFate(0, 2); got != FatePartition {
+		t.Fatalf("fate across the cut = %v, want FatePartition", got)
+	}
+	if got := f.MessageFate(0, 1); got != FateDeliver {
+		t.Fatalf("fate within a side = %v, want FateDeliver", got)
+	}
+	var flips int
+	f.OnChange(func() { flips++ })
+	f.SetPartition(nil, false)
+	if flips != 1 {
+		t.Fatalf("OnChange ran %d times, want 1", flips)
+	}
+	if f.Partitioned(0, 2) || f.Isolated(3) {
+		t.Fatal("healed fabric must not be partitioned")
+	}
+}
+
+func TestMessageFateLossyAndDup(t *testing.T) {
+	k := sim.NewKernel(7)
+	f := New(k, testConfig(2))
+	// No faults armed: MessageFate must not consume randomness.
+	before := k.Rand().Int63()
+	k2 := sim.NewKernel(7)
+	want := k2.Rand().Int63()
+	if before != want {
+		t.Fatal("seed mismatch in test setup")
+	}
+	for i := 0; i < 100; i++ {
+		if got := f.MessageFate(0, 1); got != FateDeliver {
+			t.Fatalf("fault-free fate = %v, want FateDeliver", got)
+		}
+	}
+	if a, b := k.Rand().Int63(), k2.Rand().Int63(); a != b {
+		t.Fatal("fault-free MessageFate consumed randomness")
+	}
+
+	f.Node(0).SetLossy(0.5)
+	drops := 0
+	for i := 0; i < 400; i++ {
+		if f.MessageFate(0, 1) == FateDrop {
+			drops++
+		}
+	}
+	if drops < 100 || drops > 300 {
+		t.Fatalf("p=0.5 lossy link dropped %d/400 messages", drops)
+	}
+	f.Node(0).SetLossy(0)
+
+	f.Node(0).SetDup(0.5)
+	dups := 0
+	for i := 0; i < 400; i++ {
+		if f.MessageFate(0, 1) == FateDup {
+			dups++
+		}
+	}
+	if dups < 100 || dups > 300 {
+		t.Fatalf("p=0.5 dup link duplicated %d/400 messages", dups)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLossy(1) must panic")
+		}
+	}()
+	f.Node(0).SetLossy(1)
+}

@@ -25,9 +25,10 @@ import (
 
 // Errors returned by the file system.
 var (
-	ErrNotFound   = errors.New("pfs: file not found")
-	ErrExists     = errors.New("pfs: file exists")
-	ErrTargetDown = errors.New("pfs: storage target unreachable")
+	ErrNotFound    = errors.New("pfs: file not found")
+	ErrExists      = errors.New("pfs: file exists")
+	ErrTargetDown  = errors.New("pfs: storage target unreachable")
+	ErrPartitioned = errors.New("pfs: client partitioned from storage fabric")
 )
 
 // Config describes a parallel file system instance.
@@ -441,6 +442,15 @@ func (h *Handle) transfer(p *sim.Proc, data []byte, off, size int64, isWrite boo
 func (h *Handle) stream(sp *sim.Proc, chunks []rpc, isWrite bool) error {
 	s := h.client.sys
 	for _, r := range chunks {
+		// A partitioned client cannot reach any target: the RPC burns the
+		// client stack latency plus the target-side timeout and fails with
+		// ErrPartitioned, which (unlike ErrTargetDown) heals when the
+		// partition does — callers may retry without consuming their fault
+		// budget.
+		if h.client.node.Isolated() {
+			sp.Sleep(s.cfg.ClientRPCLatency + s.cfg.TargetLatency)
+			return fmt.Errorf("%w: node %d", ErrPartitioned, h.client.node.ID())
+		}
 		// Client-side stack (shared cap) then NIC, then target.
 		h.client.cap.ServeBytes(sp, s.cfg.ClientRPCLatency, s.cfg.ClientRate, r.ext.Len)
 		if isWrite {

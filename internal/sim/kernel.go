@@ -18,6 +18,7 @@ type event struct {
 	seq uint64 // tie-break: FIFO among same-time events
 	p   *Proc  // process to resume, or nil
 	fn  func() // kernel callback, run inline (must not block)
+	tm  *Timer // cancellable-timer handle, or nil
 }
 
 type eventHeap []event
@@ -143,6 +144,42 @@ func (k *Kernel) After(d Time, fn func()) {
 	k.schedule(event{t: k.now + d, fn: fn})
 }
 
+// Timer is a cancellable kernel callback armed via AfterTimer. A timer that
+// is stopped before its due time is discarded by the run loop *before* it
+// can advance virtual time, count against the event budget, or bump the
+// event metric — so arming-then-cancelling timers (e.g. retransmit timers
+// on an ack'd message) is completely invisible to the golden trace and to
+// every determinism oracle.
+type Timer struct {
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer. It reports whether the cancellation landed before
+// the callback fired; stopping an already-fired (or already-stopped) timer
+// is a harmless no-op returning false (respectively true).
+func (t *Timer) Stop() bool {
+	if t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Fired reports whether the timer's callback has run.
+func (t *Timer) Fired() bool { return t.fired }
+
+// AfterTimer schedules fn like After but returns a handle that can cancel
+// the callback before it fires. fn must not block.
+func (k *Kernel) AfterTimer(d Time, fn func()) *Timer {
+	tm := &Timer{}
+	k.schedule(event{t: k.now + d, tm: tm, fn: func() {
+		tm.fired = true
+		fn()
+	}})
+	return tm
+}
+
 // Spawn creates a new simulation process that begins executing fn at the
 // current virtual time (or, when called before Run, at time zero).
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
@@ -205,6 +242,9 @@ func (k *Kernel) Run() error {
 			return k.err
 		}
 		ev := heap.Pop(&k.queue).(event)
+		if ev.tm != nil && ev.tm.stopped {
+			continue // cancelled timer: dropped before it can touch k.now
+		}
 		k.now = ev.t
 		k.dispatched++
 		k.mEvents.Inc()

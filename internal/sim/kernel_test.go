@@ -363,3 +363,58 @@ func TestEventBudgetOffByDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStoppedTimerDoesNotPerturbTime(t *testing.T) {
+	// Two kernels run the same workload; one additionally arms and cancels
+	// a timer mid-run. Virtual time, dispatch counts, and final state must
+	// be identical: a cancelled timer may not leave any footprint.
+	run := func(withTimer bool) (Time, int64) {
+		k := NewKernel(1)
+		k.Spawn("worker", func(p *Proc) {
+			var tm *Timer
+			if withTimer {
+				tm = k.AfterTimer(1*Second, func() {
+					t.Error("cancelled timer fired")
+				})
+			}
+			p.Sleep(10 * Millisecond)
+			if withTimer {
+				if !tm.Stop() {
+					t.Error("Stop() = false before the due time")
+				}
+				tm.Stop() // double-stop is a no-op
+			}
+			p.Sleep(5 * Second)
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now(), k.EventsDispatched()
+	}
+	baseNow, baseEvents := run(false)
+	timerNow, timerEvents := run(true)
+	if timerNow != baseNow {
+		t.Fatalf("final time with cancelled timer = %v, want %v", timerNow, baseNow)
+	}
+	if timerEvents != baseEvents {
+		t.Fatalf("events dispatched with cancelled timer = %d, want %d", timerEvents, baseEvents)
+	}
+}
+
+func TestTimerFiresWhenNotStopped(t *testing.T) {
+	k := NewKernel(1)
+	var firedAt Time = -1
+	tm := k.AfterTimer(2*Second, func() { firedAt = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != 2*Second {
+		t.Fatalf("timer fired at %v, want %v", firedAt, 2*Second)
+	}
+	if !tm.Fired() {
+		t.Fatal("Fired() = false after the callback ran")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop() = true after the timer fired")
+	}
+}

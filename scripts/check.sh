@@ -10,8 +10,11 @@
 #
 # A 25-iteration chaos smoke (see internal/chaos) also gates the run:
 # seeded workload/fault scenarios checked against the end-to-end integrity
-# oracles (SKIP_CHAOS=1 skips this pass; `make chaos` runs the 200-iteration
-# soak).
+# oracles, plus a 25-iteration failover smoke (-netfaults: degraded-mode
+# collective writes under lossy links, duplication, partitions and
+# aggregator crashes). SKIP_CHAOS=1 skips both; `make chaos` runs the
+# 200-iteration soak. The fuzz corpora also replay once (Fuzz* seeds as
+# regression tests; SKIP_FUZZ=1 skips).
 #
 # When a BENCH_*.json baseline is committed, the newest one also gates the
 # run: any scenario whose virtual completion time regresses by more than 2%
@@ -53,6 +56,15 @@ if [ "${SKIP_CHAOS:-}" = "1" ]; then
 else
     echo "== chaos smoke (25 seeded scenarios through the integrity oracles)"
     go run ./cmd/e10chaos -iters 25 -seed 1
+    echo "== failover chaos smoke (25 degraded-mode collective scenarios)"
+    go run ./cmd/e10chaos -iters 25 -seed 2 -netfaults
+fi
+
+if [ "${SKIP_FUZZ:-}" = "1" ]; then
+    echo "== fuzz corpus replay skipped (SKIP_FUZZ=1)"
+else
+    echo "== fuzz corpus replay (committed Fuzz* seeds as regression tests)"
+    go test -run 'Fuzz.*' ./...
 fi
 
 if [ "${SKIP_BENCH:-}" = "1" ]; then
