@@ -1,6 +1,6 @@
 # Tier-1 gate plus static, race and coverage checks; see scripts/check.sh.
 .PHONY: check check-full test build vet fmt-check cover trace-demo \
-	bench-record bench-compare chaos chaos-smoke chaos-failover
+	bench-record bench-compare chaos chaos-smoke chaos-failover chaos-tenants
 
 build:
 	go build ./...
@@ -38,6 +38,13 @@ chaos:
 # links, duplication, partitions, aggregator crashes).
 chaos-failover:
 	go run ./cmd/e10chaos -iters 200 -seed 7 -netfaults
+
+# Multi-tenant service-mode soak: several jobs contending for undersized
+# shared NVM under quotas, reservations, queued admissions, mid-flush
+# tenant crashes and NVM faults, checked by the tenant_isolation oracle
+# (every unfaulted tenant's file byte-identical to a solo same-seed run).
+chaos-tenants:
+	go run ./cmd/e10chaos -iters 200 -seed 11 -tenants
 
 # The quick variant check.sh runs on every gate.
 chaos-smoke:

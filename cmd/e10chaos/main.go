@@ -6,6 +6,7 @@
 //
 //	e10chaos -iters 200 -seed 1          # soak; exit 1 on any violation
 //	e10chaos -iters 200 -json            # same, machine-readable report
+//	e10chaos -iters 200 -tenants         # multi-tenant service-mode soak
 //	e10chaos -replay chaos_repro.json    # re-execute a committed reproducer
 //
 // The whole soak is a pure function of (-seed, -iters): two runs print
@@ -32,6 +33,7 @@ func main() {
 		repro   = flag.String("repro", "chaos_repro.json", "where to write the shrunk reproducer when the soak fails")
 		noShrnk = flag.Bool("no-shrink", false, "report failures without shrinking them")
 		netOnly = flag.Bool("netfaults", false, "soak only degraded-mode collective scenarios (lossy links, duplication, partitions, aggregator crashes)")
+		tenants = flag.Bool("tenants", false, "soak only multi-tenant service-mode scenarios (quotas, reservations, queued admissions, tenant crashes, NVM faults)")
 		verbose = flag.Bool("v", false, "print one line per scenario")
 	)
 	flag.Parse()
@@ -57,6 +59,9 @@ func main() {
 	gen := chaos.Generate
 	if *netOnly {
 		gen = chaos.GenerateNetFaults
+	}
+	if *tenants {
+		gen = chaos.GenerateTenants
 	}
 	rep, err := chaos.ExploreGen(*seed, *iters, gen, progress)
 	if err != nil {

@@ -207,13 +207,14 @@ func TestExploreSoakIsClean(t *testing.T) {
 // under its injection would miss the real bug class.
 func TestInjectionsTripTheirInvariant(t *testing.T) {
 	cases := map[string]Scenario{
-		"lose-journal":     crashed(1),
-		"lost-ack":         base(),
-		"corrupt-replay":   crashed(3),
-		"leak-lock":        base(),
-		"stall":            base(),
-		"miscount-retry":   base(),
-		"stuck-collective": collective(),
+		"lose-journal":          crashed(1),
+		"lost-ack":              base(),
+		"corrupt-replay":        crashed(3),
+		"leak-lock":             base(),
+		"stall":                 base(),
+		"miscount-retry":        base(),
+		"stuck-collective":      collective(),
+		"cross-tenant-scribble": tenanted(),
 	}
 	if len(cases) != len(injections) {
 		t.Fatalf("test covers %d injections, registry has %d", len(cases), len(injections))

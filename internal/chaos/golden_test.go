@@ -111,6 +111,49 @@ func fixtures() []struct {
 			},
 		},
 		{
+			file: "noisy_neighbor.json",
+			note: "clean: an unreserved noisy tenant floods an undersized NVM while a reserved tenant writes; capacity pressure degrades bandwidth only — both files match their solo same-seed runs, no invariant trips",
+			sc: Scenario{
+				Seed: 42, Nodes: 1, PerNode: 4,
+				Shape: ShapeContiguous, BlockKB: 64, Blocks: 1,
+				Mode: "enable", FlushFlag: "flush_immediate", Sessions: 1,
+				SSDCapKB: 512,
+				Tenants: []TenantSpec{
+					{Ranks: 2, Blocks: 4, BlockKB: 64},
+					{Ranks: 2, Blocks: 2, BlockKB: 64, ReserveKB: 256},
+				},
+			},
+		},
+		{
+			file: "tenant_crash_isolation.json",
+			note: "clean: one of three tenants crashes mid-flush while another runs at a starvation quota; the victims' journals conserve every acked byte and the survivors' files match their solo same-seed runs, no invariant trips",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 1,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 1,
+				SSDCapKB: 1024,
+				Tenants: []TenantSpec{
+					{Ranks: 1, Blocks: 3, BlockKB: 64},
+					{Ranks: 2, Blocks: 3, BlockKB: 64, CrashUS: 3_000},
+					{Ranks: 1, Blocks: 3, BlockKB: 64, QuotaKB: 64, Policy: "writethrough"},
+				},
+			},
+		},
+		{
+			file: "tenant_scribble.json",
+			note: "one tenant's pattern is scribbled into another tenant's file after the run: the victim's digest diverges from its solo same-seed run and tenant_isolation must notice",
+			sc: Scenario{
+				Seed: 42, Nodes: 1, PerNode: 4,
+				Shape: ShapeContiguous, BlockKB: 64, Blocks: 1,
+				Mode: "enable", FlushFlag: "flush_immediate", Sessions: 1,
+				Tenants: []TenantSpec{
+					{Ranks: 2, Blocks: 2, BlockKB: 64},
+					{Ranks: 2, Blocks: 2, BlockKB: 64},
+				},
+				Injection: "cross-tenant-scribble",
+			},
+		},
+		{
 			file: "aggregator_crash.json",
 			note: "clean: an aggregator node crashes mid-round during a resilient collective write; survivors recompute file domains and replay unacked rounds, no invariant trips",
 			sc: Scenario{

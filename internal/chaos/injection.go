@@ -46,6 +46,10 @@ var injections = map[string]struct {
 	// Skew rank 0's collective accounting, as if it entered a collective
 	// and never came back — the no_stuck_collective oracle must notice.
 	"stuck-collective": {phasePostRun, InvStuckCollective},
+	// Leak one tenant's pattern into another tenant's file: the victim's
+	// digest no longer matches its solo same-seed run, which is exactly
+	// what the tenant_isolation oracle exists to catch.
+	"cross-tenant-scribble": {phasePostRun, InvTenantIsolation},
 }
 
 // Trips returns the invariant an injection is designed to violate ("" for
@@ -67,12 +71,12 @@ func applyInjection(r *run, phase injPhase, mr ...*mpi.Rank) {
 	case "lost-ack":
 		// Flip durable bytes under the first acked write of a rank that
 		// saw no error — its ack is now a lie.
-		meta := r.cl.FS.Lookup(FilePath)
-		if meta == nil {
-			return
-		}
 		for _, rec := range r.acked {
 			if r.rankErr[rec.rank] != "" {
+				continue
+			}
+			meta := r.cl.FS.Lookup(rec.file)
+			if meta == nil {
 				continue
 			}
 			n := rec.ext.Len
@@ -122,5 +126,24 @@ func applyInjection(r *run, phase injPhase, mr ...*mpi.Rank) {
 		r.mreg.Counter("cache_sync_retries_total", metrics.L(metrics.KeyLayer, "core")).Inc()
 	case "stuck-collective":
 		r.cl.World.SkewCollAccounting(0)
+	case "cross-tenant-scribble":
+		// Write 64 bytes of tenant 0's pattern just past the last tenant's
+		// own data — a foreign byte inside the victim's namespace that no
+		// acked-write oracle covers, only the isolation digest.
+		victim := len(r.sc.Tenants) - 1
+		meta := r.cl.FS.Lookup(tenantFile(victim))
+		if meta == nil {
+			return
+		}
+		var span int64
+		t := r.sc.Tenants[victim]
+		for lr := 0; lr < t.Ranks; lr++ {
+			for b := 0; b < t.Blocks; b++ {
+				if end := t.offsetFor(r.sc.Shape, lr, b) + t.BlockKB<<10; end > span {
+					span = end
+				}
+			}
+		}
+		meta.Store().WriteAt(patternBuf(0, span, 64), span, 64)
 	}
 }

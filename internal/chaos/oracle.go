@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/extent"
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,11 @@ func (r *run) check() *Result {
 	r.checkLockRelease(add)
 	r.checkTraceMetrics(add)
 	r.checkStuckCollective(add)
+	if r.solo < 0 {
+		// Solo baseline runs exist only to be digested by this very oracle;
+		// re-checking them would recurse.
+		r.checkTenantIsolation(add)
+	}
 	return res
 }
 
@@ -77,12 +83,24 @@ func (r *run) checkStuckCollective(add func(inv, format string, args ...interfac
 //     journalled for recovery with the payload intact in the retained
 //     cache file. Bytes in neither place are silently lost.
 func (r *run) checkConservation(add func(inv, format string, args ...interface{})) {
-	meta := r.cl.FS.Lookup(FilePath)
-	var durable *extent.Set
-	if meta != nil {
-		durable = meta.Store().Written()
-	} else {
-		durable = &extent.Set{}
+	// Per-file durable view (tenant scenarios spread writes over several
+	// global files), built lazily.
+	type fileView struct {
+		st      store.Store
+		durable *extent.Set
+	}
+	views := map[string]fileView{}
+	view := func(path string) fileView {
+		if v, ok := views[path]; ok {
+			return v
+		}
+		v := fileView{durable: &extent.Set{}}
+		if meta := r.cl.FS.Lookup(path); meta != nil {
+			v.st = meta.Store()
+			v.durable = v.st.Written()
+		}
+		views[path] = v
+		return v
 	}
 	// Per-rank journal cover and cache payload reader, built lazily.
 	journals := map[int]*extent.Set{}
@@ -114,19 +132,20 @@ func (r *run) checkConservation(add func(inv, format string, args ...interface{}
 	}
 
 	for _, rec := range r.acked {
+		fv := view(rec.file)
 		want := make([]byte, rec.ext.Len)
-		r.ref.ReadAt(want, rec.ext.Off)
+		r.refFor(rec.file).ReadAt(want, rec.ext.Off)
 		got := make([]byte, rec.ext.Len)
-		if meta != nil {
-			meta.Store().ReadAt(got, rec.ext.Off)
+		if fv.st != nil {
+			fv.st.ReadAt(got, rec.ext.Off)
 		}
-		if durable.Covers(rec.ext) && bytes.Equal(want, got) {
+		if fv.durable.Covers(rec.ext) && bytes.Equal(want, got) {
 			continue // fully durable, payload-identical
 		}
 		if r.rankErr[rec.rank] == "" {
 			add(InvLostAck,
 				"rank %d write [%d,+%d) acked with no surfaced error, but bytes are not durable in %s",
-				rec.rank, rec.ext.Off, rec.ext.Len, FilePath)
+				rec.rank, rec.ext.Off, rec.ext.Len, rec.file)
 			continue
 		}
 		// The rank saw an error; every non-durable subrange must still be
@@ -138,7 +157,7 @@ func (r *run) checkConservation(add func(inv, format string, args ...interface{}
 				n = checkGranularity
 			}
 			lo := off - rec.ext.Off
-			if durable.Covers(extent.Extent{Off: off, Len: n}) && bytes.Equal(want[lo:lo+n], got[lo:lo+n]) {
+			if fv.durable.Covers(extent.Extent{Off: off, Len: n}) && bytes.Equal(want[lo:lo+n], got[lo:lo+n]) {
 				continue
 			}
 			if !j.Covers(extent.Extent{Off: off, Len: n}) {
@@ -174,10 +193,13 @@ func (r *run) checkIdempotence(add func(inv, format string, args ...interface{})
 	}
 }
 
-// checkLockRelease verifies no byte-range lock outlives the run.
+// checkLockRelease verifies no byte-range lock outlives the run, on any
+// global file the scenario can touch.
 func (r *run) checkLockRelease(add func(inv, format string, args ...interface{})) {
-	if held := r.cl.FS.Locks.HeldLocks(FilePath); held != 0 {
-		add(InvLockRelease, "%d byte-range lock(s) on %s still held after the run", held, FilePath)
+	for _, path := range r.files() {
+		if held := r.cl.FS.Locks.HeldLocks(path); held != 0 {
+			add(InvLockRelease, "%d byte-range lock(s) on %s still held after the run", held, path)
+		}
 	}
 }
 

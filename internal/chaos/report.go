@@ -22,13 +22,16 @@ type IterRecord struct {
 // (maps render key-sorted), so the same master seed yields a byte-identical
 // report — and digest — on every machine.
 type Report struct {
-	MasterSeed  int64          `json:"master_seed"`
-	Iters       int            `json:"iters"`
-	Clean       int            `json:"clean"`
-	Violations  map[string]int `json:"violations"` // invariant -> failing iters
-	Shapes      map[string]int `json:"shapes"`     // coverage: shape -> iters
-	Modes       map[string]int `json:"modes"`      // coverage: cache mode -> iters
-	Sessions    map[string]int `json:"sessions"`   // coverage: session count -> iters
+	MasterSeed int64          `json:"master_seed"`
+	Iters      int            `json:"iters"`
+	Clean      int            `json:"clean"`
+	Violations map[string]int `json:"violations"` // invariant -> failing iters
+	Shapes     map[string]int `json:"shapes"`     // coverage: shape -> iters
+	Modes      map[string]int `json:"modes"`      // coverage: cache mode -> iters
+	Sessions   map[string]int `json:"sessions"`   // coverage: session count -> iters
+	// Tenants counts multi-tenant iterations by tenant count. Omitted when
+	// the soak generated none, keeping pre-tenant reports byte-identical.
+	Tenants     map[string]int `json:"tenants,omitempty"`
 	FaultsArmed int            `json:"faults_armed"`
 	AckedOps    int64          `json:"acked_ops"`
 	Events      int64          `json:"events"`
@@ -67,6 +70,12 @@ func ExploreGen(masterSeed int64, iters int, gen func(*rand.Rand) Scenario, prog
 		rep.Shapes[sc.Shape]++
 		rep.Modes[sc.Mode]++
 		rep.Sessions[fmt.Sprintf("%d", sc.Sessions)]++
+		if len(sc.Tenants) > 0 {
+			if rep.Tenants == nil {
+				rep.Tenants = map[string]int{}
+			}
+			rep.Tenants[fmt.Sprintf("%d", len(sc.Tenants))]++
+		}
 		rep.FaultsArmed += len(sc.Faults)
 		rep.AckedOps += int64(res.AckedOps)
 		rep.Events += res.Events
@@ -115,6 +124,9 @@ func (r *Report) Text() string {
 	fmt.Fprintf(&b, "  clean: %d   failing: %d\n", r.Clean, r.Iters-r.Clean)
 	fmt.Fprintf(&b, "  coverage: shapes %s | modes %s | sessions %s\n",
 		renderCounts(r.Shapes), renderCounts(r.Modes), renderCounts(r.Sessions))
+	if len(r.Tenants) > 0 {
+		fmt.Fprintf(&b, "  coverage: tenants %s\n", renderCounts(r.Tenants))
+	}
 	fmt.Fprintf(&b, "  faults armed: %d   acked writes: %d\n", r.FaultsArmed, r.AckedOps)
 	fmt.Fprintf(&b, "  kernel events: %d   virtual time: %.3fs\n",
 		r.Events, float64(r.WallNS)/1e9)

@@ -38,12 +38,18 @@ const (
 	// it entered — by completing it or by a surfaced timeout, never by
 	// parking forever while the rest of the run moves on.
 	InvStuckCollective = "no_stuck_collective"
+	// InvTenantIsolation demands that in a multi-tenant run, every tenant
+	// not deliberately faulted (crashed, or hosted on a faulted node) ends
+	// with its file byte-identical to a solo same-seed run of just that
+	// tenant, and that capacity pressure alone never fails its job.
+	InvTenantIsolation = "tenant_isolation"
 )
 
 // Invariants lists every checked invariant, in report order.
 var Invariants = []string{
 	InvConservation, InvLostAck, InvIdempotence,
 	InvLockRelease, InvLiveness, InvTraceMetrics, InvStuckCollective,
+	InvTenantIsolation,
 }
 
 // Result is one executed scenario's verdict.
@@ -77,6 +83,7 @@ func (r *Result) ViolatedInvariants() []string {
 type writeRec struct {
 	rank int
 	ext  extent.Extent
+	file string // global file the write targeted
 }
 
 // run carries one scenario's execution state from setup through oracles.
@@ -85,10 +92,15 @@ type run struct {
 	cl     *harness.Cluster
 	tracer *trace.Tracer
 	mreg   *metrics.Registry
-	ref    store.Store // in-memory reference file: what SHOULD be durable
+	ref    map[string]store.Store // per file: what SHOULD be durable
 
 	live   []map[*core.Cache]bool // per node: caches currently open
 	caches []*core.Cache          // every cache ever installed
+
+	// Multi-tenant state. solo >= 0 restricts the run to that one tenant
+	// (the isolation oracle's contention-free baseline).
+	solo         int
+	tenantCaches [][]*core.Cache // per tenant: every cache it ever opened
 
 	acked      []writeRec
 	rankErr    []string // first surfaced error per rank ("" = clean run)
@@ -128,7 +140,7 @@ func Execute(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	r := &run{sc: sc}
+	r := &run{sc: sc, solo: -1}
 	if err := r.setup(); err != nil {
 		return nil, err
 	}
@@ -136,11 +148,34 @@ func Execute(sc Scenario) (*Result, error) {
 	return r.check(), nil
 }
 
+// refFor returns (creating on demand) the in-memory reference store for
+// one global file.
+func (r *run) refFor(path string) store.Store {
+	if s, ok := r.ref[path]; ok {
+		return s
+	}
+	s := store.NewMem()
+	r.ref[path] = s
+	return s
+}
+
+// files returns every global file path the scenario can touch.
+func (r *run) files() []string {
+	out := []string{FilePath}
+	for i := range r.sc.Tenants {
+		out = append(out, tenantFile(i))
+	}
+	return out
+}
+
 // setup assembles the cluster, observability, crash hook and fault
 // schedule.
 func (r *run) setup() error {
 	cfg := harness.Scaled(r.sc.Seed, r.sc.Nodes, r.sc.PerNode)
 	cfg.Payload = true // oracles compare real bytes
+	if r.sc.SSDCapKB > 0 {
+		cfg.SSD.Capacity = r.sc.SSDCapKB << 10
+	}
 	r.cl = harness.NewCluster(cfg)
 	r.tracer = trace.New()
 	r.mreg = metrics.New()
@@ -152,7 +187,8 @@ func (r *run) setup() error {
 	}
 	r.cl.Kernel.SetEventBudget(budget)
 
-	r.ref = store.NewMem()
+	r.ref = make(map[string]store.Store)
+	r.tenantCaches = make([][]*core.Cache, len(r.sc.Tenants))
 	ranks := r.sc.ranks()
 	r.rankErr = make([]string, ranks)
 	r.cacheName = make([]string, ranks)
@@ -280,8 +316,8 @@ func (r *run) simulateCollective() {
 			r.fail(me, "write", werr)
 		} else {
 			for _, s := range segs {
-				r.acked = append(r.acked, writeRec{rank: me, ext: s})
-				r.ref.WriteAt(patternBuf(me, s.Off, s.Len), s.Off, s.Len)
+				r.acked = append(r.acked, writeRec{rank: me, ext: s, file: FilePath})
+				r.refFor(FilePath).WriteAt(patternBuf(me, s.Off, s.Len), s.Off, s.Len)
 			}
 		}
 		if cerr := f.Close(); cerr != nil {
@@ -297,6 +333,10 @@ func (r *run) simulateCollective() {
 func (r *run) simulate() {
 	if r.sc.Collective {
 		r.simulateCollective()
+		return
+	}
+	if len(r.sc.Tenants) > 0 {
+		r.simulateTenants()
 		return
 	}
 	sc := r.sc
@@ -319,8 +359,8 @@ func (r *run) simulate() {
 				if werr := f.WriteContig(data, off, size); werr != nil {
 					r.fail(me, "write", werr)
 				} else {
-					r.acked = append(r.acked, writeRec{rank: me, ext: extent.Extent{Off: off, Len: size}})
-					r.ref.WriteAt(data, off, size)
+					r.acked = append(r.acked, writeRec{rank: me, ext: extent.Extent{Off: off, Len: size}, file: FilePath})
+					r.refFor(FilePath).WriteAt(data, off, size)
 				}
 			}
 			if cerr := r.close(f, mr); cerr != nil {

@@ -51,6 +51,51 @@ func (a Action) fault() fault.Fault {
 	}
 }
 
+// TenantSpec describes one tenant job inside a multi-tenant scenario: its
+// rank block (ranks are assigned contiguously in tenant order), its private
+// workload, and its capacity contract with the shared NVM devices. Each
+// tenant writes its own file (chaos.t<i>.dat) with a tenant-unique payload
+// pattern, which is what lets the tenant_isolation oracle detect one
+// tenant's bytes leaking into another's namespace.
+type TenantSpec struct {
+	Ranks   int   `json:"ranks"`
+	Blocks  int   `json:"blocks"`
+	BlockKB int64 `json:"block_kb"`
+
+	// Capacity contract, in KB (0 = unlimited / no reservation).
+	QuotaKB   int64 `json:"quota_kb,omitempty"`
+	ReserveKB int64 `json:"reserve_kb,omitempty"`
+	// Admit: "" (reject) | "reject" | "queue"; Policy: "" (block) |
+	// "block" | "writethrough" — see internal/core tenant hints.
+	Admit  string `json:"admit,omitempty"`
+	Policy string `json:"policy,omitempty"`
+
+	// CrashUS > 0 crashes this tenant's cache layer at that virtual time
+	// (mid-flush when it lands inside the write phase). Only the tenant's
+	// caches die — the node, and every other tenant on it, keeps running.
+	CrashUS int64 `json:"crash_us,omitempty"`
+}
+
+// offsetFor places block b of the tenant's local rank lrank inside the
+// tenant's own file, mirroring the scenario shapes.
+func (t TenantSpec) offsetFor(shape string, lrank, b int) int64 {
+	bs := t.BlockKB << 10
+	R := int64(t.Ranks)
+	switch shape {
+	case ShapeInterleaved:
+		return (int64(b)*R + int64(lrank)) * bs
+	case ShapeStrided:
+		return (int64(b)*(R+1) + int64(lrank)) * bs
+	default: // contiguous
+		return (int64(lrank)*int64(t.Blocks) + int64(b)) * bs
+	}
+}
+
+// bytes returns the tenant's total write footprint.
+func (t TenantSpec) bytes() int64 {
+	return int64(t.Ranks) * int64(t.Blocks) * (t.BlockKB << 10)
+}
+
 // Scenario is one randomized-but-reproducible chaos experiment: a workload
 // shape plus hint combination crossed with a fault schedule. Scenarios are
 // value types; the JSON form is the replay format.
@@ -79,6 +124,16 @@ type Scenario struct {
 	// Network fault kinds (lossy-link, dup-link) require this mode.
 	Collective bool `json:"collective,omitempty"`
 
+	// Tenants switches the workload to multi-tenant service mode: each
+	// tenant runs as an independent job on a contiguous rank block, writing
+	// its own file under its own capacity contract, all contending for the
+	// shared per-node NVM. Requires Sessions=1 and Collective=false.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+
+	// SSDCapKB overrides every node's NVM capacity (KB); 0 keeps the
+	// harness default. Tenant scenarios shrink it to force contention.
+	SSDCapKB int64 `json:"ssd_cap_kb,omitempty"`
+
 	Faults []Action `json:"faults,omitempty"`
 
 	// EventBudget bounds the kernel's dispatched events (liveness
@@ -96,6 +151,56 @@ const DefaultEventBudget = 2_000_000
 
 // ranks returns the world size.
 func (sc *Scenario) ranks() int { return sc.Nodes * sc.PerNode }
+
+// tenantStart returns the first global rank of tenant i (tenants occupy
+// contiguous rank blocks in declaration order).
+func (sc *Scenario) tenantStart(i int) int {
+	s := 0
+	for j := 0; j < i; j++ {
+		s += sc.Tenants[j].Ranks
+	}
+	return s
+}
+
+// tenantOf returns the tenant index owning a global rank, -1 for idle
+// ranks beyond the tenants' blocks.
+func (sc *Scenario) tenantOf(rank int) int {
+	s := 0
+	for i, t := range sc.Tenants {
+		if rank < s+t.Ranks {
+			return i
+		}
+		s += t.Ranks
+	}
+	return -1
+}
+
+// tenantFaulted reports whether tenant i is a deliberate fault victim: it
+// crashes mid-run, or a scheduled fault touches a node hosting its ranks
+// (cluster-scoped faults — PFS targets, partitions — touch every tenant).
+// The tenant_isolation oracle asserts nothing about faulted tenants' own
+// files; their durability is the conservation oracle's business.
+func (sc *Scenario) tenantFaulted(i int) bool {
+	t := sc.Tenants[i]
+	if t.CrashUS > 0 {
+		return true
+	}
+	lo := sc.tenantStart(i)
+	hi := lo + t.Ranks - 1
+	onNode := func(n int) bool { return n >= lo/sc.PerNode && n <= hi/sc.PerNode }
+	for _, a := range sc.Faults {
+		switch a.Kind {
+		case fault.CrashNode, fault.FailDevice, fault.DeviceENOSPC,
+			fault.DegradeLink, fault.LossyLink, fault.DupLink:
+			if onNode(a.Node) {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}
 
 // blockSize returns the per-write byte count.
 func (sc *Scenario) blockSize() int64 { return sc.BlockKB << 10 }
@@ -190,6 +295,49 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("chaos: collective scenarios need >= 2 nodes for cross-node traffic")
 		}
 	}
+	if len(sc.Tenants) > 0 {
+		if sc.Collective {
+			return fmt.Errorf("chaos: tenant scenarios use the cached path, not collective mode")
+		}
+		if sc.Sessions != 1 {
+			return fmt.Errorf("chaos: tenant scenarios take sessions=1, got %d", sc.Sessions)
+		}
+		if len(sc.Tenants) > 4 {
+			return fmt.Errorf("chaos: %d tenants outside [1,4]", len(sc.Tenants))
+		}
+		sum := 0
+		for i, t := range sc.Tenants {
+			switch {
+			case t.Ranks < 1:
+				return fmt.Errorf("chaos: tenant %d: ranks %d < 1", i, t.Ranks)
+			case t.Blocks < 1 || t.Blocks > 16:
+				return fmt.Errorf("chaos: tenant %d: blocks %d outside [1,16]", i, t.Blocks)
+			case t.BlockKB < 4 || t.BlockKB > 1024:
+				return fmt.Errorf("chaos: tenant %d: block_kb %d outside [4,1024]", i, t.BlockKB)
+			case t.QuotaKB < 0 || t.ReserveKB < 0 || t.CrashUS < 0:
+				return fmt.Errorf("chaos: tenant %d: negative capacity or crash time", i)
+			case t.QuotaKB > 0 && t.ReserveKB > t.QuotaKB:
+				return fmt.Errorf("chaos: tenant %d: reserve %d KB beyond quota %d KB", i, t.ReserveKB, t.QuotaKB)
+			}
+			switch t.Admit {
+			case "", "reject", "queue":
+			default:
+				return fmt.Errorf("chaos: tenant %d: unknown admit %q", i, t.Admit)
+			}
+			switch t.Policy {
+			case "", "block", "writethrough":
+			default:
+				return fmt.Errorf("chaos: tenant %d: unknown policy %q", i, t.Policy)
+			}
+			sum += t.Ranks
+		}
+		if sum > sc.ranks() {
+			return fmt.Errorf("chaos: tenants need %d ranks, world has %d", sum, sc.ranks())
+		}
+	}
+	if sc.SSDCapKB < 0 {
+		return fmt.Errorf("chaos: negative ssd_cap_kb %d", sc.SSDCapKB)
+	}
 	for i, a := range sc.Faults {
 		switch a.Kind {
 		case fault.FailDevice, fault.DeviceENOSPC, fault.DegradeLink, fault.CrashNode:
@@ -232,6 +380,9 @@ func (sc *Scenario) Validate() error {
 	if sc.Injection != "" {
 		if _, ok := injections[sc.Injection]; !ok {
 			return fmt.Errorf("chaos: unknown injection %q", sc.Injection)
+		}
+		if sc.Injection == "cross-tenant-scribble" && len(sc.Tenants) < 2 {
+			return fmt.Errorf("chaos: injection %q needs >= 2 tenants", sc.Injection)
 		}
 	}
 	return nil
@@ -365,6 +516,93 @@ func randomNetAction(rng *rand.Rand, nodes int) Action {
 			FromUS: int64(1_000 + rng.Intn(40_000)),
 		}
 	}
+}
+
+// GenerateTenants draws only multi-tenant service-mode scenarios: several
+// independent jobs contending for a deliberately undersized shared NVM,
+// with quotas, reservations, queued admissions, mid-flush tenant crashes
+// and NVM-layer faults. e10chaos -tenants soaks with this generator to
+// concentrate iterations on the capacity arbitration and isolation
+// machinery.
+func GenerateTenants(rng *rand.Rand) Scenario {
+	sc := Scenario{
+		Nodes:     1 + rng.Intn(2),
+		PerNode:   3 + rng.Intn(2),
+		Shape:     []string{ShapeContiguous, ShapeInterleaved, ShapeStrided}[rng.Intn(3)],
+		BlockKB:   64, // scenario-level workload fields are unused; tenants carry their own
+		Blocks:    1,
+		Mode:      "enable",
+		FlushFlag: []string{"flush_immediate", "flush_onclose", "flush_adaptive"}[rng.Intn(3)],
+		Discard:   rng.Intn(2) == 0,
+		Sessions:  1,
+	}
+	// Carve 2..4 tenants out of the rank pool, one rank minimum each.
+	ranks := sc.ranks()
+	nt := 2 + rng.Intn(3)
+	if nt > ranks {
+		nt = ranks
+	}
+	var total int64
+	for i := 0; i < nt; i++ {
+		spare := ranks - (nt - 1 - i) // leave one rank per remaining tenant
+		t := TenantSpec{
+			Ranks:   1 + rng.Intn(spare),
+			Blocks:  1 + rng.Intn(3),
+			BlockKB: []int64{16, 32, 64}[rng.Intn(3)],
+		}
+		ranks -= t.Ranks
+		total += t.bytes()
+		sc.Tenants = append(sc.Tenants, t)
+	}
+	// Undersize the device so the tenants genuinely contend: between half
+	// and all of the combined footprint, floored at one tenant block.
+	sc.SSDCapKB = (total >> 10) / 2
+	sc.SSDCapKB += rng.Int63n(sc.SSDCapKB + 1)
+	if sc.SSDCapKB < 1024 {
+		sc.SSDCapKB = 1024
+	}
+	// Capacity contracts: some tenants get byte quotas, some reservations,
+	// some queue for admission, some degrade to write-through.
+	for i := range sc.Tenants {
+		t := &sc.Tenants[i]
+		if rng.Intn(2) == 0 {
+			t.QuotaKB = t.bytes() >> 10 >> uint(rng.Intn(3)) // 1x, 1/2, 1/4 of footprint
+			if t.QuotaKB < t.BlockKB {
+				t.QuotaKB = t.BlockKB
+			}
+		}
+		if rng.Intn(3) == 0 {
+			t.ReserveKB = sc.SSDCapKB / int64(2*len(sc.Tenants))
+			if t.QuotaKB > 0 && t.ReserveKB > t.QuotaKB {
+				t.ReserveKB = t.QuotaKB
+			}
+		}
+		if rng.Intn(3) == 0 {
+			t.Admit = "queue"
+		}
+		if rng.Intn(3) == 0 {
+			t.Policy = "writethrough"
+		}
+	}
+	// Half the scenarios crash one tenant mid-flush.
+	if rng.Intn(2) == 0 {
+		sc.Tenants[rng.Intn(len(sc.Tenants))].CrashUS = int64(1_000 + rng.Intn(30_000))
+	}
+	// Sprinkle 0..2 NVM-layer faults (transient ENOSPC, device failure).
+	for n := rng.Intn(3); n > 0; n-- {
+		kind := fault.DeviceENOSPC
+		if rng.Intn(3) == 0 {
+			kind = fault.FailDevice
+		}
+		a := Action{Kind: kind, Node: rng.Intn(sc.Nodes),
+			FromUS: int64(1_000 + rng.Intn(30_000))}
+		a.ToUS = a.FromUS + int64(2_000+rng.Intn(20_000))
+		sc.Faults = append(sc.Faults, a)
+		if sc.Schedule().Validate() != nil {
+			sc.Faults = sc.Faults[:len(sc.Faults)-1]
+		}
+	}
+	return sc
 }
 
 // randomAction draws one non-crash fault action.

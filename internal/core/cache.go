@@ -96,6 +96,13 @@ type Stats struct {
 	RecoveredExtents int64 // journal extents replayed at open
 	RecoveredBytes   int64 // bytes replayed from the cache at open
 	CacheDegraded    bool  // cache device failed mid-run; writing through
+
+	// Multi-tenant service mode (zero in single-tenant runs).
+	QuotaStalls        int64    // writes that blocked on capacity/quota pressure
+	QuotaStallTime     sim.Time // total time spent blocked
+	QuotaWriteThroughs int64    // writes degraded to write-through by pressure
+	EvictedBytes       int64    // clean cache bytes punched out under pressure
+	AdmitRejects       int64    // admissions denied (session fell back to uncached)
 }
 
 // syncReq is one pending synchronisation request: move ext from the cache
@@ -123,6 +130,11 @@ type Cache struct {
 	dirty    *extent.Set
 	degraded bool // cache device failed mid-run; all writes go through
 	crashed  bool
+
+	// Multi-tenant service mode (see tenant.go; inert when the e10_tenant
+	// hint is absent).
+	tenantAttached bool   // admission granted and session counted
+	unregEvict     func() // removes this cache's clean-extent evictor
 
 	syncer      *syncThread
 	pending     []*syncReq // created but not yet submitted (flush_onclose)
@@ -216,8 +228,15 @@ func (c *Cache) journalKey() string {
 // retained journal from a previous crashed session (e10_cache_recovery),
 // and start the sync thread.
 func (c *Cache) AtOpenColl(f *adio.File) error {
-	cf, err := c.fs.Open(c.name, true)
+	// Multi-tenant admission first: a tenant whose reservation cannot be
+	// met never creates a cache file (the open reverts to the standard
+	// path). No-op in single-tenant mode.
+	if err := c.tenantAdmit(); err != nil {
+		return err
+	}
+	cf, err := c.fs.OpenTenant(c.name, c.opts.Tenant.Name, true)
 	if err != nil {
+		c.tenantWithdraw()
 		return err
 	}
 	c.cfile = cf
@@ -230,6 +249,7 @@ func (c *Cache) AtOpenColl(f *adio.File) error {
 		if err := c.recover(f); err != nil {
 			// The cache file and journal stay behind for a later attempt;
 			// this open reverts to the standard path.
+			c.tenantWithdraw()
 			return fmt.Errorf("core: cache recovery: %w", err)
 		}
 		rsp.End(int64(f.Rank().Now()), trace.I("bytes", c.Stats.RecoveredBytes))
@@ -343,13 +363,22 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 		c.Stats.CoherentLockHeld++
 	}
 
-	if err := c.cfile.Fallocate(p, off, size); err != nil {
-		// No space or dead device: release the lock and let the write go
-		// to the global file directly.
+	// allocCache is Fallocate plus, under tenancy, the backpressure ladder:
+	// reclaim clean extents, then block-and-poll up to the tenant's
+	// BlockTimeout before surfacing the pressure error.
+	if err := c.allocCache(p, off, size); err != nil {
 		if lock != nil {
 			c.env.Locks.Unlock(lock)
 		}
-		c.noteCacheError(err)
+		if errors.Is(err, ErrCrashed) {
+			// The node died while the write was blocked on capacity.
+			return false, ErrCrashed
+		}
+		// No space or dead device: let the write go to the global file
+		// directly. Quota pressure is not a device error.
+		if !errors.Is(err, nvm.ErrQuota) {
+			c.noteCacheError(err)
+		}
 		c.noteWriteThrough(off, size)
 		return false, nil
 	}
@@ -489,6 +518,9 @@ func (c *Cache) AtClose(f *adio.File) error {
 		c.syncer.stop()
 	}
 	if err != nil {
+		// The retained cache file stays charged to the tenant, but the
+		// session itself is over: release the admission reservation.
+		c.tenantWithdraw()
 		return err
 	}
 	if c.opts.Discard && c.cfile != nil {
@@ -499,6 +531,7 @@ func (c *Cache) AtClose(f *adio.File) error {
 		}
 		c.cfile = nil
 	}
+	c.tenantWithdraw()
 	return err
 }
 
@@ -512,6 +545,9 @@ func (c *Cache) Crash() {
 		return
 	}
 	c.crashed = true
+	// A dead node cannot serve eviction requests; its reservation and
+	// cache bytes deliberately stay charged (retained for recovery).
+	c.tenantDetachEvictor()
 	for _, req := range c.pending {
 		if req.lock != nil {
 			c.env.Locks.Unlock(req.lock)

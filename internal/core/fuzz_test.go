@@ -58,3 +58,66 @@ func FuzzParseOptions(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseTenantOptions drives the multi-tenant e10_tenant_* hint parser.
+// It must never panic; accepted sets must be normalized (non-empty tenant
+// name whenever tenancy is on, known admit/policy values, non-negative
+// budgets, reservation within quota) and quota hints without e10_tenant
+// must be rejected, not defaulted.
+func FuzzParseTenantOptions(f *testing.F) {
+	f.Add(HintTenant, "jobA", HintTenantQuotaBytes, "1048576", HintTenantReserve, "65536")
+	f.Add(HintTenant, "jobB", HintTenantAdmit, "queue", HintTenantPolicy, "writethrough")
+	f.Add(HintTenant, "noisy", HintTenantQuotaFiles, "2", HintTenantBlockTimeout, "5ms")
+	f.Add(HintTenantQuotaBytes, "4096", "", "", "", "")
+	f.Add(HintTenant, "", HintTenantReserve, "100", "", "")
+	f.Add(HintTenant, "a", HintTenantQuotaBytes, "100", HintTenantReserve, "200")
+	f.Add(HintTenant, "a", HintTenantQuotaBytes, "-5", HintTenantPolicy, "maybe")
+	f.Add(HintTenant, "a", HintTenantBlockTimeout, "-1s", HintTenantAdmit, "beg")
+	f.Add(HintCache, CacheEnable, HintTenant, "t", HintTenantQuotaBytes, "9999999999")
+	f.Fuzz(func(t *testing.T, k1, v1, k2, v2, k3, v3 string) {
+		info := mpi.Info{}
+		for _, kv := range [][2]string{{k1, v1}, {k2, v2}, {k3, v3}} {
+			if kv[0] != "" {
+				info[kv[0]] = kv[1]
+			}
+		}
+		o, err := ParseOptions(info)
+		if err != nil {
+			return
+		}
+		to := o.Tenant
+		if o.Tenancy() != (to.Name != "") {
+			t.Fatalf("ParseOptions(%v): Tenancy()=%v inconsistent with name %q", info, o.Tenancy(), to.Name)
+		}
+		if to.Name == "" {
+			// Without a tenant, no tenant hint may have been accepted.
+			for _, k := range []string{HintTenantQuotaBytes, HintTenantQuotaFiles,
+				HintTenantReserve, HintTenantAdmit, HintTenantPolicy, HintTenantBlockTimeout} {
+				if _, ok := info.Get(k); ok {
+					t.Fatalf("ParseOptions(%v): %s accepted without %s", info, k, HintTenant)
+				}
+			}
+			return
+		}
+		switch to.Admit {
+		case AdmitReject, AdmitQueue:
+		default:
+			t.Fatalf("ParseOptions(%v): invalid admit %q", info, to.Admit)
+		}
+		switch to.Policy {
+		case PolicyBlock, PolicyWriteThrough:
+		default:
+			t.Fatalf("ParseOptions(%v): invalid policy %q", info, to.Policy)
+		}
+		if to.QuotaBytes < 0 || to.QuotaFiles < 0 || to.Reserve < 0 || to.BlockTimeout < 0 {
+			t.Fatalf("ParseOptions(%v): negative tenant budget %+v", info, to)
+		}
+		if to.QuotaBytes > 0 && to.Reserve > to.QuotaBytes {
+			t.Fatalf("ParseOptions(%v): reservation %d beyond quota %d accepted", info, to.Reserve, to.QuotaBytes)
+		}
+		o2, err := ParseOptions(info)
+		if err != nil || o2 != o {
+			t.Fatalf("ParseOptions(%v) not deterministic: %+v vs %+v (err %v)", info, o, o2, err)
+		}
+	})
+}

@@ -54,6 +54,56 @@ const (
 	HintSyncRetryBackoff = "e10_sync_retry_backoff"
 )
 
+// Multi-tenant service-mode hints. None of these appear in the paper (it
+// evaluates one application owning the whole scratch partition); they model
+// a production burst buffer serving several jobs at once. All are inert
+// unless e10_tenant is set, which keeps single-tenant runs byte-identical.
+const (
+	// HintTenant names the tenant (job) this session belongs to. Setting it
+	// activates per-tenant capacity accounting on the NVM devices.
+	HintTenant = "e10_tenant"
+
+	// HintTenantQuotaBytes caps the tenant's cache footprint per device, in
+	// bytes (0 = unlimited).
+	HintTenantQuotaBytes = "e10_tenant_quota_bytes"
+
+	// HintTenantQuotaFiles caps the tenant's cache file count per device
+	// (0 = unlimited).
+	HintTenantQuotaFiles = "e10_tenant_quota_files"
+
+	// HintTenantReserve is a per-device admission reservation in bytes: a
+	// guaranteed capacity floor the tenant claims at open. When the sum of
+	// reservations would exceed a device, admission fails.
+	HintTenantReserve = "e10_tenant_reserve"
+
+	// HintTenantAdmit picks the admission-failure behaviour: "reject"
+	// (default) falls the session back to the uncached path immediately;
+	// "queue" polls for capacity until AdmitTimeout, then falls back.
+	HintTenantAdmit = "e10_tenant_admit"
+
+	// HintTenantPolicy picks the quota-exhaustion behaviour: "block"
+	// (default) backpressures the writer — evict own clean extents, then
+	// poll until BlockTimeout before degrading that write to write-through —
+	// while "writethrough" degrades immediately.
+	HintTenantPolicy = "e10_tenant_policy"
+
+	// HintTenantBlockTimeout bounds how long a blocked write waits for
+	// capacity (a Go duration string) before degrading to write-through.
+	HintTenantBlockTimeout = "e10_tenant_block_timeout"
+)
+
+// e10_tenant_admit values.
+const (
+	AdmitReject = "reject"
+	AdmitQueue  = "queue"
+)
+
+// e10_tenant_policy values.
+const (
+	PolicyBlock        = "block"
+	PolicyWriteThrough = "writethrough"
+)
+
 // e10_cache values.
 const (
 	CacheEnable   = "enable"
@@ -82,7 +132,34 @@ type Options struct {
 	Recover      bool     // replay a retained cache file's unsynced extents at open
 	RetryLimit   int      // sync chunk retry budget (attempts beyond the first)
 	RetryBackoff sim.Time // initial backoff between retries; doubles per attempt
+
+	Tenant TenantOptions // multi-tenant service mode (zero value: single tenant)
 }
+
+// TenantOptions is the parsed e10_tenant_* hint set. The zero value (empty
+// Name) means single-tenant mode and leaves every legacy code path
+// untouched.
+type TenantOptions struct {
+	Name         string   // tenant identity; "" disables tenancy
+	QuotaBytes   int64    // per-device cache byte cap (0 = unlimited)
+	QuotaFiles   int      // per-device cache file cap (0 = unlimited)
+	Reserve      int64    // per-device admission reservation in bytes
+	Admit        string   // reject | queue
+	Policy       string   // block | writethrough
+	BlockTimeout sim.Time // blocked-write deadline before write-through
+}
+
+// Defaults for tenant backpressure and queued admission.
+const (
+	DefaultBlockTimeout = 50 * sim.Millisecond
+	// DefaultAdmitTimeout bounds how long a queued admission polls for
+	// reservation headroom before falling back to the uncached path.
+	DefaultAdmitTimeout = 200 * sim.Millisecond
+	// PressurePollInterval is the deterministic polling period used by
+	// blocked writes and queued admissions (the sim kernel has no timed
+	// condition wait).
+	PressurePollInterval = 2 * sim.Millisecond
+)
 
 // DefaultRetryLimit and DefaultRetryBackoff govern sync-failure handling
 // when the e10_sync_retry_* hints are absent. PartitionBackoffCap bounds
@@ -172,8 +249,106 @@ func ParseOptions(extra mpi.Info) (Options, error) {
 		}
 		o.RetryBackoff = sim.Time(d.Nanoseconds())
 	}
+	t, err := parseTenantOptions(extra)
+	if err != nil {
+		return o, err
+	}
+	o.Tenant = t
 	return o, nil
 }
+
+// parseTenantOptions extracts and validates the e10_tenant_* hints. Every
+// tenant hint other than e10_tenant itself requires e10_tenant to be set:
+// a quota without an owner is a configuration error, not a default.
+func parseTenantOptions(extra mpi.Info) (TenantOptions, error) {
+	t := TenantOptions{
+		Admit:        AdmitReject,
+		Policy:       PolicyBlock,
+		BlockTimeout: DefaultBlockTimeout,
+	}
+	if v, ok := extra.Get(HintTenant); ok {
+		if v == "" {
+			return t, fmt.Errorf("core: %s: empty tenant name", HintTenant)
+		}
+		t.Name = v
+	}
+	requireTenant := func(key string) error {
+		if t.Name == "" {
+			return fmt.Errorf("core: %s requires %s", key, HintTenant)
+		}
+		return nil
+	}
+	if v, ok := extra.Get(HintTenantQuotaBytes); ok {
+		if err := requireTenant(HintTenantQuotaBytes); err != nil {
+			return t, err
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return t, fmt.Errorf("core: %s: invalid value %q", HintTenantQuotaBytes, v)
+		}
+		t.QuotaBytes = n
+	}
+	if v, ok := extra.Get(HintTenantQuotaFiles); ok {
+		if err := requireTenant(HintTenantQuotaFiles); err != nil {
+			return t, err
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return t, fmt.Errorf("core: %s: invalid value %q", HintTenantQuotaFiles, v)
+		}
+		t.QuotaFiles = n
+	}
+	if v, ok := extra.Get(HintTenantReserve); ok {
+		if err := requireTenant(HintTenantReserve); err != nil {
+			return t, err
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return t, fmt.Errorf("core: %s: invalid value %q", HintTenantReserve, v)
+		}
+		t.Reserve = n
+	}
+	if v, ok := extra.Get(HintTenantAdmit); ok {
+		if err := requireTenant(HintTenantAdmit); err != nil {
+			return t, err
+		}
+		switch v {
+		case AdmitReject, AdmitQueue:
+			t.Admit = v
+		default:
+			return t, fmt.Errorf("core: %s: invalid value %q", HintTenantAdmit, v)
+		}
+	}
+	if v, ok := extra.Get(HintTenantPolicy); ok {
+		if err := requireTenant(HintTenantPolicy); err != nil {
+			return t, err
+		}
+		switch v {
+		case PolicyBlock, PolicyWriteThrough:
+			t.Policy = v
+		default:
+			return t, fmt.Errorf("core: %s: invalid value %q", HintTenantPolicy, v)
+		}
+	}
+	if v, ok := extra.Get(HintTenantBlockTimeout); ok {
+		if err := requireTenant(HintTenantBlockTimeout); err != nil {
+			return t, err
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return t, fmt.Errorf("core: %s: invalid value %q", HintTenantBlockTimeout, v)
+		}
+		t.BlockTimeout = sim.Time(d.Nanoseconds())
+	}
+	if t.QuotaBytes > 0 && t.Reserve > t.QuotaBytes {
+		return t, fmt.Errorf("core: %s %d exceeds %s %d",
+			HintTenantReserve, t.Reserve, HintTenantQuotaBytes, t.QuotaBytes)
+	}
+	return t, nil
+}
+
+// Tenancy reports whether multi-tenant service mode is active.
+func (o Options) Tenancy() bool { return o.Tenant.Name != "" }
 
 // Enabled reports whether the cache data path is active.
 func (o Options) Enabled() bool { return o.Mode != CacheDisable }

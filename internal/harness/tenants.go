@@ -1,0 +1,392 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/adio"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mpe"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/nvm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// JobSpec describes one tenant job in a multi-tenant run: an independent
+// application with its own rank set, workload, collective-buffering
+// parameters and NVM-cache budget.
+type JobSpec struct {
+	Name         string // tenant identity (e10_tenant); must be unique
+	Ranks        int    // world ranks assigned to this job
+	Workload     workloads.Workload
+	NFiles       int      // files written (0 = 1)
+	ComputeDelay sim.Time // emulated compute phase between files
+	StartDelay   sim.Time // delay before the job's first open (staggered arrival)
+	Aggregators  int      // cb_nodes within the job's communicator
+	CBBuffer     int64    // cb_buffer_size in bytes
+	SyncBuffer   int64    // ind_wr_buffer_size (0 = adio default)
+	FlushFlag    string   // e10_cache_flush_flag (default flush_immediate)
+	CacheMode    string   // e10_cache (default enable)
+
+	// NVM budget (per device). Zero values mean unlimited / no reservation.
+	QuotaBytes int64  // e10_tenant_quota_bytes
+	QuotaFiles int    // e10_tenant_quota_files
+	Reserve    int64  // e10_tenant_reserve (admission floor)
+	Admit      string // e10_tenant_admit: reject (default) | queue
+	Policy     string // e10_tenant_policy: block (default) | writethrough
+
+	// ExtraHints are merged last into the job's MPI_Info.
+	ExtraHints map[string]string
+}
+
+// MultiSpec describes one multi-tenant service-mode run: several jobs
+// sharing one cluster's PFS and per-node NVM devices.
+type MultiSpec struct {
+	Cluster     ClusterConfig
+	Jobs        []JobSpec
+	Metrics     bool // enable the metrics registry (Result.Metrics)
+	TraceEvents bool // enable the event tracer (Result.Trace)
+}
+
+// JobResult is one tenant's outcome.
+type JobResult struct {
+	Name         string
+	Ranks        int
+	TotalBytes   int64
+	BandwidthGBs float64    // Equation-2 perceived bandwidth for this job
+	WallTime     sim.Time   // first open to last close, job-local
+	Stats        core.Stats // cache stats summed over the job's ranks
+	// Fallbacks counts file sessions that ran uncached (admission rejected
+	// or no usable cache) — the job still completes through the PFS.
+	Fallbacks int
+	// Err is the job's first error, nil when the job completed. Capacity
+	// pressure alone must never set it.
+	Err error
+}
+
+// MultiResult is a multi-tenant run's outcome.
+type MultiResult struct {
+	Spec     MultiSpec
+	Jobs     []JobResult
+	WallTime sim.Time
+	Trace    *trace.Tracer     // non-nil when Spec.TraceEvents
+	Metrics  *metrics.Registry // non-nil when Spec.Metrics
+	Report   string            // post-run cluster resource summary
+}
+
+// hints builds one job's MPI_Info, including the tenant budget hints.
+func (j JobSpec) hints() mpi.Info {
+	aggs := j.Aggregators
+	if aggs <= 0 {
+		aggs = 1
+	}
+	cb := j.CBBuffer
+	if cb <= 0 {
+		cb = 4 << 20
+	}
+	info := mpi.Info{
+		adio.HintCBWrite:      adio.HintEnable,
+		adio.HintCBNodes:      strconv.Itoa(aggs),
+		adio.HintCBBufferSize: strconv.FormatInt(cb, 10),
+	}
+	if j.SyncBuffer > 0 {
+		info[adio.HintIndWrBufferSize] = strconv.FormatInt(j.SyncBuffer, 10)
+	}
+	mode := j.CacheMode
+	if mode == "" {
+		mode = core.CacheEnable
+	}
+	info[core.HintCache] = mode
+	if mode != core.CacheDisable {
+		flush := j.FlushFlag
+		if flush == "" {
+			flush = core.FlushImmediate
+		}
+		info[core.HintFlushFlag] = flush
+		info[core.HintDiscardFlag] = "enable"
+		info[core.HintCachePath] = "/scratch"
+		info[core.HintTenant] = j.Name
+		if j.QuotaBytes > 0 {
+			info[core.HintTenantQuotaBytes] = strconv.FormatInt(j.QuotaBytes, 10)
+		}
+		if j.QuotaFiles > 0 {
+			info[core.HintTenantQuotaFiles] = strconv.Itoa(j.QuotaFiles)
+		}
+		if j.Reserve > 0 {
+			info[core.HintTenantReserve] = strconv.FormatInt(j.Reserve, 10)
+		}
+		if j.Admit != "" {
+			info[core.HintTenantAdmit] = j.Admit
+		}
+		if j.Policy != "" {
+			info[core.HintTenantPolicy] = j.Policy
+		}
+	}
+	for k, v := range j.ExtraHints {
+		info[k] = v
+	}
+	return info
+}
+
+// RunMulti executes several tenant jobs concurrently on one freshly built
+// cluster. World ranks are assigned to jobs in contiguous blocks, in job
+// order; ranks beyond the jobs' total idle. Each job opens its own files
+// over a Split communicator, so the jobs interleave on the shared fabric,
+// PFS and NVM devices but never synchronize with each other.
+func RunMulti(spec MultiSpec) (*MultiResult, error) {
+	if len(spec.Jobs) == 0 {
+		return nil, errors.New("harness: RunMulti needs at least one job")
+	}
+	total := 0
+	seen := make(map[string]bool)
+	for _, j := range spec.Jobs {
+		if j.Name == "" {
+			return nil, errors.New("harness: JobSpec.Name must be set")
+		}
+		if seen[j.Name] {
+			return nil, fmt.Errorf("harness: duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+		if j.Ranks <= 0 {
+			return nil, fmt.Errorf("harness: job %q needs ranks", j.Name)
+		}
+		if j.Workload == nil {
+			return nil, fmt.Errorf("harness: job %q needs a workload", j.Name)
+		}
+		total += j.Ranks
+	}
+	cl := NewCluster(spec.Cluster)
+	if total > cl.World.Size() {
+		return nil, fmt.Errorf("harness: jobs need %d ranks, world has %d", total, cl.World.Size())
+	}
+	var tr *trace.Tracer
+	if spec.TraceEvents {
+		tr = trace.New()
+		cl.Kernel.SetTracer(tr)
+	}
+	var reg *metrics.Registry
+	if spec.Metrics {
+		reg = metrics.New()
+		cl.Kernel.SetMetrics(reg)
+	}
+
+	w := cl.World
+	comm := w.Comm()
+	njobs := len(spec.Jobs)
+	// jobOf maps a world rank to its job (or -1: idle).
+	jobOf := make([]int, w.Size())
+	starts := make([]int, njobs)
+	next := 0
+	for i, j := range spec.Jobs {
+		starts[i] = next
+		for k := 0; k < j.Ranks; k++ {
+			jobOf[next] = i
+			next++
+		}
+	}
+	for i := next; i < w.Size(); i++ {
+		jobOf[i] = -1
+	}
+
+	infos := make([]mpi.Info, njobs)
+	for i, j := range spec.Jobs {
+		infos[i] = j.hints()
+	}
+	type rankOut struct {
+		stats     core.Stats
+		fallbacks int
+		err       error
+		start     sim.Time
+		end       sim.Time
+	}
+	outs := make([]rankOut, w.Size())
+	// Per-job, per-file write times and close waits, job-rank-0 view.
+	writeTimes := make([][]sim.Time, njobs)
+	closeWaits := make([][][]sim.Time, njobs)
+	for i, j := range spec.Jobs {
+		nf := j.NFiles
+		if nf <= 0 {
+			nf = 1
+		}
+		writeTimes[i] = make([]sim.Time, nf)
+		closeWaits[i] = make([][]sim.Time, nf)
+		for k := range closeWaits[i] {
+			closeWaits[i][k] = make([]sim.Time, j.Ranks)
+		}
+	}
+
+	err := w.Run(func(r *mpi.Rank) {
+		me := comm.RankOf(r)
+		ji := jobOf[me]
+		// Split is collective over the world: every rank participates,
+		// idle ranks (color < 0) get a nil communicator and retire.
+		jcomm := comm.Split(r, ji, me)
+		if ji < 0 {
+			return
+		}
+		job := spec.Jobs[ji]
+		if job.StartDelay > 0 {
+			r.Compute(job.StartDelay)
+		}
+		out := &outs[me]
+		out.start = r.Now()
+		jme := me - starts[ji]
+		nf := job.NFiles
+		if nf <= 0 {
+			nf = 1
+		}
+		log := mpe.NewLog()
+		fail := func(err error) {
+			if err != nil && out.err == nil {
+				out.err = err
+			}
+		}
+		accounted := make(map[*adio.File]bool)
+		account := func(f *mpiio.File) {
+			h := f.Handle()
+			if accounted[h] {
+				return
+			}
+			accounted[h] = true
+			if h.Stats.CacheFallback {
+				out.fallbacks++
+			}
+			if c, ok := h.InstalledHooks().(*core.Cache); ok && c != nil {
+				out.stats = addStats(out.stats, c.Stats)
+			}
+		}
+		var prev *mpiio.File
+		prevIdx := -1
+		closePrev := func() {
+			if prev == nil {
+				return
+			}
+			jcomm.Barrier(r)
+			t0 := r.Now()
+			fail(prev.Close())
+			closeWaits[ji][prevIdx][jme] = r.Now() - t0
+			account(prev)
+			prev, prevIdx = nil, -1
+		}
+		for k := 0; k < nf; k++ {
+			closePrev()
+			if out.err != nil {
+				break
+			}
+			jcomm.Barrier(r)
+			t0 := r.Now()
+			f, err := cl.Env.OpenWithLog(r, jcomm,
+				fmt.Sprintf("%s.%04d", job.Name, k),
+				mpiio.ModeCreate|mpiio.ModeWrOnly, infos[ji], log)
+			if err != nil {
+				fail(err)
+				break
+			}
+			fail(job.Workload.WritePhase(r, f, spec.Cluster.Payload))
+			jcomm.Barrier(r)
+			if jme == 0 {
+				writeTimes[ji][k] = r.Now() - t0
+			}
+			prev, prevIdx = f, k
+			if k < nf-1 {
+				r.Compute(job.ComputeDelay)
+			}
+		}
+		closePrev()
+		out.end = r.Now()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MultiResult{Spec: spec, WallTime: cl.Kernel.Now()}
+	res.Report = ClusterReport(cl)
+	if tr != nil {
+		res.Trace = tr
+	}
+	if reg != nil {
+		res.Metrics = reg
+	}
+	for i, j := range spec.Jobs {
+		jr := JobResult{Name: j.Name, Ranks: j.Ranks}
+		nf := j.NFiles
+		if nf <= 0 {
+			nf = 1
+		}
+		jr.TotalBytes = j.Workload.FileBytes(j.Ranks) * int64(nf)
+		for ri := starts[i]; ri < starts[i]+j.Ranks; ri++ {
+			o := outs[ri]
+			jr.Stats = addStats(jr.Stats, o.stats)
+			jr.Fallbacks += o.fallbacks
+			if o.err != nil && jr.Err == nil {
+				jr.Err = o.err
+			}
+			if span := o.end - o.start; span > jr.WallTime {
+				jr.WallTime = span
+			}
+		}
+		var denom sim.Time
+		for k := 0; k < nf; k++ {
+			var wait sim.Time
+			for _, cw := range closeWaits[i][k] {
+				if cw > wait {
+					wait = cw
+				}
+			}
+			if wait < 10*sim.Millisecond {
+				wait = 0
+			}
+			if k == nf-1 {
+				// Like coll_perf/Flash-IO (§IV-B), the final close's sync is
+				// excluded from the job's perceived bandwidth.
+				wait = 0
+			}
+			denom += writeTimes[i][k] + wait
+		}
+		if denom > 0 && jr.Err == nil {
+			jr.BandwidthGBs = float64(jr.TotalBytes) / denom.Seconds() / 1e9
+		}
+		res.Jobs = append(res.Jobs, jr)
+	}
+	return res, nil
+}
+
+// addStats sums two cache-stat records field by field (booleans OR).
+func addStats(a, b core.Stats) core.Stats {
+	a.CacheWrites += b.CacheWrites
+	a.CacheBytes += b.CacheBytes
+	a.SyncedBytes += b.SyncedBytes
+	a.SyncRequests += b.SyncRequests
+	a.WriteThroughs += b.WriteThroughs
+	a.FlushWaits += b.FlushWaits
+	a.FlushWaitTime += b.FlushWaitTime
+	a.CoherentLockHeld += b.CoherentLockHeld
+	a.CacheReads += b.CacheReads
+	a.Backoffs += b.Backoffs
+	a.SyncRetries += b.SyncRetries
+	a.SyncFailures += b.SyncFailures
+	a.RecoveredExtents += b.RecoveredExtents
+	a.RecoveredBytes += b.RecoveredBytes
+	a.CacheDegraded = a.CacheDegraded || b.CacheDegraded
+	a.QuotaStalls += b.QuotaStalls
+	a.QuotaStallTime += b.QuotaStallTime
+	a.QuotaWriteThroughs += b.QuotaWriteThroughs
+	a.EvictedBytes += b.EvictedBytes
+	a.AdmitRejects += b.AdmitRejects
+	return a
+}
+
+// Devices returns the per-node NVM devices (chaos and tests inspect their
+// arbiters after a run).
+func (cl *Cluster) Devices() []*nvm.Device {
+	out := make([]*nvm.Device, len(cl.NVMs))
+	for i, fs := range cl.NVMs {
+		out[i] = fs.Device()
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package nvm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/extent"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// extentOf is shorthand for test extents.
+func extentOf(off, length int64) extent.Extent { return extent.Extent{Off: off, Len: length} }
+
+func TestQuotaCapsTenantBytes(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	arb := dev.Arbiter()
+	arb.Register("jobA", Quota{Bytes: 400})
+	k.Spawn("w", func(p *sim.Proc) {
+		f, err := fs.CreateTenant("a", "jobA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteAt(p, nil, 0, 400); err != nil {
+			t.Error(err)
+		}
+		// Over quota even though the device has 600 bytes free.
+		if err := f.WriteAt(p, nil, 400, 1); !errors.Is(err, ErrQuota) {
+			t.Errorf("want ErrQuota, got %v", err)
+		}
+		if got, _ := arb.Usage("jobA"); got != 400 {
+			t.Errorf("usage = %d, want 400", got)
+		}
+		if arb.Rejections("jobA") != 1 {
+			t.Errorf("rejections = %d, want 1", arb.Rejections("jobA"))
+		}
+		// Freeing quota headroom (eviction) re-enables allocation.
+		f.Punch(extentOf(0, 200))
+		if err := f.WriteAt(p, nil, 400, 200); err != nil {
+			t.Errorf("write after punch: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotaCapsTenantFiles(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	dev.Arbiter().Register("jobA", Quota{Files: 1})
+	if _, err := fs.CreateTenant("a0", "jobA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateTenant("a1", "jobA"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("want ErrQuota, got %v", err)
+	}
+	// Another tenant is unaffected.
+	if _, err := fs.CreateTenant("b0", "jobB"); err != nil {
+		t.Fatalf("other tenant blocked: %v", err)
+	}
+	// Removing the file returns the slot.
+	if err := fs.Remove("a0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateTenant("a1", "jobA"); err != nil {
+		t.Fatalf("slot not returned: %v", err)
+	}
+}
+
+func TestReservationIsGuaranteedFloor(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	arb := dev.Arbiter()
+	if err := arb.TryAdmit("jobA", 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.TryAdmit("jobB", 0); err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("w", func(p *sim.Proc) {
+		fb, _ := fs.CreateTenant("b", "jobB")
+		// B sees only capacity minus A's untouched reservation.
+		if err := fb.WriteAt(p, nil, 0, 700); !errors.Is(err, ErrNoSpace) {
+			t.Errorf("best-effort tenant pierced a reservation: %v", err)
+		}
+		if err := fb.WriteAt(p, nil, 0, 600); err != nil {
+			t.Error(err)
+		}
+		// A's floor is intact.
+		fa, _ := fs.CreateTenant("a", "jobA")
+		if err := fa.WriteAt(p, nil, 0, 400); err != nil {
+			t.Errorf("reserved tenant starved: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionRejectsOversubscription(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	arb := dev.Arbiter()
+	if err := arb.TryAdmit("jobA", 700); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-admission of the same tenant is free.
+	if err := arb.TryAdmit("jobA", 700); err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.TryAdmit("jobB", 400); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("want ErrAdmission, got %v", err)
+	}
+	if arb.Admitted("jobB") {
+		t.Error("rejected tenant marked admitted")
+	}
+	if err := arb.TryAdmit("jobB", 300); err != nil {
+		t.Fatalf("fitting reservation rejected: %v", err)
+	}
+	if got := arb.Tenants(); len(got) != 2 || got[0] != "jobA" || got[1] != "jobB" {
+		t.Fatalf("tenants = %v", got)
+	}
+}
+
+func TestReclaimRunsEvictorsInOrder(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	arb := dev.Arbiter()
+	var order []string
+	unregA := arb.RegisterEvictor(func(need int64) int64 {
+		order = append(order, "a")
+		return 100
+	})
+	arb.RegisterEvictor(func(need int64) int64 {
+		order = append(order, "b")
+		return need
+	})
+	if freed := arb.Reclaim("jobX", 250); freed != 250 {
+		t.Fatalf("freed = %d, want 250", freed)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+	// After unregistering a, only b runs.
+	unregA()
+	order = nil
+	if freed := arb.Reclaim("jobX", 50); freed != 50 {
+		t.Fatalf("freed = %d, want 50", freed)
+	}
+	if len(order) != 1 || order[0] != "b" {
+		t.Fatalf("order after unregister = %v", order)
+	}
+	_ = k
+}
+
+// TestTenantAccountingBalances pins the invariant that tenant books and the
+// device counter agree through a write/punch/remove cycle under quota
+// pressure, including a failed allocation in the middle.
+func TestTenantAccountingBalances(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	arb := dev.Arbiter()
+	arb.Register("jobA", Quota{Bytes: 500})
+	arb.Register("jobB", Quota{})
+	k.Spawn("w", func(p *sim.Proc) {
+		fa, _ := fs.CreateTenant("a", "jobA")
+		fb, _ := fs.CreateTenant("b", "jobB")
+		if err := fa.WriteAt(p, nil, 0, 500); err != nil {
+			t.Error(err)
+		}
+		if err := fb.WriteAt(p, nil, 0, 500); err != nil {
+			t.Error(err)
+		}
+		// Both a quota and a capacity denial: books must not move.
+		if err := fa.WriteAt(p, nil, 500, 100); !errors.Is(err, ErrQuota) {
+			t.Errorf("want ErrQuota, got %v", err)
+		}
+		if err := fb.WriteAt(p, nil, 500, 100); !errors.Is(err, ErrNoSpace) {
+			t.Errorf("want ErrNoSpace, got %v", err)
+		}
+		check := func(when string) {
+			ua, _ := arb.Usage("jobA")
+			ub, _ := arb.Usage("jobB")
+			if ua != fa.Allocated() || ub != fb.Allocated() || ua+ub != dev.Used() {
+				t.Fatalf("%s: books out of balance: a=%d/%d b=%d/%d dev=%d",
+					when, ua, fa.Allocated(), ub, fb.Allocated(), dev.Used())
+			}
+		}
+		check("after denials")
+		fa.Punch(extentOf(0, 200))
+		check("after punch")
+		if arb.Evicted("jobA") != 200 {
+			t.Errorf("evicted = %d, want 200", arb.Evicted("jobA"))
+		}
+		if err := fs.Remove("b"); err != nil {
+			t.Error(err)
+		}
+		check("after remove")
+		if dev.Used() != 300 {
+			t.Errorf("used = %d, want 300", dev.Used())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -59,6 +59,7 @@ type Device struct {
 	used    int64
 	failed  bool
 	noSpace bool
+	arb     *Arbiter // multi-tenant capacity arbiter; nil until Arbiter()
 
 	// Statistics.
 	BytesWritten int64
@@ -151,16 +152,33 @@ func (d *Device) read(p *sim.Proc, n int64) {
 	}
 }
 
-// reserve claims n bytes of capacity.
-func (d *Device) reserve(n int64) error {
+// reserveAs claims n bytes of capacity on behalf of tenant ("" for the
+// anonymous single-tenant path). Once an arbiter exists, all claims go
+// through it so quotas and admission reservations are enforced uniformly.
+func (d *Device) reserveAs(tenant string, n int64) error {
 	if d.noSpace {
 		return fmt.Errorf("%w: %s (injected)", ErrNoSpace, d.name)
+	}
+	if d.arb != nil {
+		return d.arb.reserveFor(tenant, n)
 	}
 	if d.used+n > d.cfg.Capacity {
 		return fmt.Errorf("%w: need %d, free %d", ErrNoSpace, n, d.cfg.Capacity-d.used)
 	}
 	d.used += n
 	return nil
+}
+
+// reserve claims n bytes of capacity (anonymous path).
+func (d *Device) reserve(n int64) error { return d.reserveAs("", n) }
+
+// releaseAs frees n bytes of tenant's capacity.
+func (d *Device) releaseAs(tenant string, n int64) {
+	if d.arb != nil {
+		d.arb.releaseFor(tenant, n)
+		return
+	}
+	d.release(n)
 }
 
 // traceError marks a device-level failure on the device's trace timeline
@@ -206,33 +224,55 @@ func NewFS(dev *Device, cfg FSConfig, factory store.Factory) *FS {
 func (fs *FS) Device() *Device { return fs.dev }
 
 // Create creates a new file, failing if it already exists.
-func (fs *FS) Create(name string) (*File, error) {
+func (fs *FS) Create(name string) (*File, error) { return fs.CreateTenant(name, "") }
+
+// CreateTenant creates a new file owned by tenant, charging the tenant's
+// file-count quota. tenant "" is the anonymous single-tenant path.
+func (fs *FS) CreateTenant(name, tenant string) (*File, error) {
 	if _, ok := fs.files[name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrExists, name)
 	}
-	f := &File{fs: fs, name: name, data: fs.factory()}
+	if tenant != "" {
+		if err := fs.dev.Arbiter().chargeFile(tenant); err != nil {
+			return nil, err
+		}
+	}
+	f := &File{fs: fs, name: name, data: fs.factory(), tenant: tenant}
 	fs.files[name] = f
 	return f, nil
 }
 
 // Open returns an existing file, or creates it when create is true.
 func (fs *FS) Open(name string, create bool) (*File, error) {
+	return fs.OpenTenant(name, "", create)
+}
+
+// OpenTenant is Open with tenant attribution for newly created files.
+func (fs *FS) OpenTenant(name, tenant string, create bool) (*File, error) {
 	if f, ok := fs.files[name]; ok {
 		return f, nil
 	}
 	if !create {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	return fs.Create(name)
+	return fs.CreateTenant(name, tenant)
 }
 
-// Remove unlinks a file, returning its allocated space to the device.
+// Remove unlinks a file, returning its allocated space to the device. The
+// handle goes stale: this file system models a cache, where Remove means
+// discard/evict, so letting a stale handle keep writing would reserve
+// capacity that no later Remove could return (the stranded-bytes bug).
 func (fs *FS) Remove(name string) error {
 	f, ok := fs.files[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	fs.dev.release(f.Allocated())
+	fs.dev.releaseAs(f.tenant, f.Allocated())
+	if f.tenant != "" {
+		fs.dev.Arbiter().releaseFile(f.tenant)
+	}
+	f.unlinked = true
+	f.reserved.Clear()
 	delete(fs.files, name)
 	return nil
 }
@@ -249,12 +289,17 @@ func (fs *FS) Exists(name string) bool {
 type File struct {
 	fs       *FS
 	name     string
+	tenant   string // owning tenant; "" for single-tenant runs
+	unlinked bool   // set by FS.Remove; further writes return ErrStale
 	data     store.Store
 	reserved extent.Set // ranges holding allocated blocks
 }
 
 // Name returns the file name.
 func (f *File) Name() string { return f.name }
+
+// Tenant returns the owning tenant ("" for single-tenant runs).
+func (f *File) Tenant() string { return f.tenant }
 
 // Size returns the current file size.
 func (f *File) Size() int64 { return f.data.Size() }
@@ -266,8 +311,13 @@ func (f *File) Store() store.Store { return f.data }
 func (f *File) Allocated() int64 { return f.reserved.TotalBytes() }
 
 // reserve claims capacity for the not-yet-allocated parts of e and returns
-// how many new bytes were claimed.
+// how many new bytes were claimed. The claim is all-or-nothing: on any
+// error neither f.reserved nor the device's accounting moves, so a failed
+// allocation racing an eviction can never strand reserved bytes.
 func (f *File) reserve(e extent.Extent) (int64, error) {
+	if f.unlinked {
+		return 0, fmt.Errorf("%w: %s", ErrStale, f.name)
+	}
 	if f.fs.dev.failed {
 		f.fs.dev.traceError("io_error")
 		return 0, fmt.Errorf("%w: %s", ErrIO, f.fs.dev.name)
@@ -279,12 +329,47 @@ func (f *File) reserve(e extent.Extent) (int64, error) {
 	if need == 0 {
 		return 0, nil
 	}
-	if err := f.fs.dev.reserve(need); err != nil {
-		f.fs.dev.traceError("enospc")
+	if err := f.fs.dev.reserveAs(f.tenant, need); err != nil {
+		if errors.Is(err, ErrQuota) {
+			f.fs.dev.traceError("quota")
+		} else {
+			f.fs.dev.traceError("enospc")
+		}
 		return 0, err
 	}
 	f.reserved.Add(e)
 	return need, nil
+}
+
+// AllocatedExtents returns the byte ranges currently holding allocated
+// blocks (a copy of the allocation map, sorted).
+func (f *File) AllocatedExtents() []extent.Extent { return f.reserved.Extents() }
+
+// Punch deallocates the blocks of e, returning their capacity to the
+// device and dropping them from the written-extent map — the cache layer's
+// clean-extent eviction primitive. Callers must only punch ranges whose
+// content is durable elsewhere. Returns the bytes actually freed.
+func (f *File) Punch(e extent.Extent) int64 {
+	if f.unlinked {
+		return 0
+	}
+	var freed int64
+	for _, a := range f.reserved.Extents() {
+		ov := a.Intersect(e)
+		if !ov.Empty() {
+			freed += ov.Len
+		}
+	}
+	if freed == 0 {
+		return 0
+	}
+	f.reserved.Remove(e)
+	f.data.Written().Remove(e)
+	f.fs.dev.releaseAs(f.tenant, freed)
+	if f.fs.dev.arb != nil {
+		f.fs.dev.arb.noteEvicted(f.tenant, freed)
+	}
+	return freed
 }
 
 // Fallocate reserves the byte range [off, off+size). With fallocate
@@ -324,6 +409,9 @@ func (f *File) WriteAt(p *sim.Proc, data []byte, off, size int64) error {
 func (f *File) ReadAt(p *sim.Proc, buf []byte, off, size int64) error {
 	if buf != nil {
 		size = int64(len(buf))
+	}
+	if f.unlinked {
+		return fmt.Errorf("%w: %s", ErrStale, f.name)
 	}
 	if f.fs.dev.failed {
 		f.fs.dev.serve(p, "read", 0, 0)

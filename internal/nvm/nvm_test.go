@@ -79,6 +79,121 @@ func TestCapacityEnforced(t *testing.T) {
 	}
 }
 
+// TestStaleHandleCannotStrandBytes is the regression test for the ENOSPC
+// accounting bug: a file handle surviving its FS.Remove could keep
+// reserving device bytes that no Remove would ever return (the file was
+// gone from the namespace), permanently stranding capacity. Stale handles
+// now fail with ErrStale and reserve nothing.
+func TestStaleHandleCannotStrandBytes(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := fs.Create("f")
+		if err := f.WriteAt(p, nil, 0, 800); err != nil {
+			t.Error(err)
+		}
+		if err := fs.Remove("f"); err != nil {
+			t.Error(err)
+		}
+		if dev.Used() != 0 {
+			t.Fatalf("used after remove = %d, want 0", dev.Used())
+		}
+		// The stale handle must not be able to claim capacity again.
+		if err := f.WriteAt(p, nil, 0, 100); !errors.Is(err, ErrStale) {
+			t.Errorf("stale write: want ErrStale, got %v", err)
+		}
+		buf := make([]byte, 4)
+		if err := f.ReadAt(p, buf, 0, 4); !errors.Is(err, ErrStale) {
+			t.Errorf("stale read: want ErrStale, got %v", err)
+		}
+		if dev.Used() != 0 {
+			t.Fatalf("stale handle stranded %d bytes", dev.Used())
+		}
+		// The full capacity is still available to a fresh file.
+		g, err := fs.Create("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.WriteAt(p, nil, 0, 1000); err != nil {
+			t.Errorf("fresh file denied reclaimed capacity: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailedReserveLeavesAccountingIntact pins the all-or-nothing property
+// of File.reserve: an allocation denied by ENOSPC must advance neither the
+// file's allocation map nor the device counter, even when an eviction
+// (Remove of a neighbour) is interleaved between attempts.
+func TestFailedReserveLeavesAccountingIntact(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	k.Spawn("w", func(p *sim.Proc) {
+		a, _ := fs.Create("a")
+		b, _ := fs.Create("b")
+		if err := a.WriteAt(p, nil, 0, 600); err != nil {
+			t.Error(err)
+		}
+		// Over-ask: denied, and nothing may move.
+		if err := b.WriteAt(p, nil, 0, 500); !errors.Is(err, ErrNoSpace) {
+			t.Errorf("want ErrNoSpace, got %v", err)
+		}
+		if dev.Used() != 600 || b.Allocated() != 0 {
+			t.Fatalf("failed reserve moved accounting: used=%d b.alloc=%d", dev.Used(), b.Allocated())
+		}
+		// Concurrent eviction frees a's bytes; the retry must now fit and
+		// the books must balance exactly.
+		if err := fs.Remove("a"); err != nil {
+			t.Error(err)
+		}
+		if err := b.WriteAt(p, nil, 0, 500); err != nil {
+			t.Errorf("retry after eviction: %v", err)
+		}
+		if dev.Used() != 500 || dev.Used() != b.Allocated() {
+			t.Fatalf("books out of balance: used=%d b.alloc=%d", dev.Used(), b.Allocated())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPunchReleasesCleanExtents(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDevice(k, 1000)
+	fs := NewFS(dev, FSConfig{SupportsFallocate: true}, store.NewNull)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := fs.Create("f")
+		if err := f.WriteAt(p, nil, 0, 800); err != nil {
+			t.Error(err)
+		}
+		if freed := f.Punch(extentOf(100, 300)); freed != 300 {
+			t.Errorf("punch freed %d, want 300", freed)
+		}
+		if dev.Used() != 500 || f.Allocated() != 500 {
+			t.Errorf("after punch: used=%d alloc=%d, want 500", dev.Used(), f.Allocated())
+		}
+		// Punching the same range again is a no-op.
+		if freed := f.Punch(extentOf(100, 300)); freed != 0 {
+			t.Errorf("double punch freed %d", freed)
+		}
+		// The freed range can be re-reserved.
+		if err := f.WriteAt(p, nil, 100, 300); err != nil {
+			t.Errorf("rewrite of punched range: %v", err)
+		}
+		if dev.Used() != 800 {
+			t.Errorf("after rewrite: used=%d, want 800", dev.Used())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRemoveReturnsSpace(t *testing.T) {
 	k := sim.NewKernel(1)
 	dev := testDevice(k, 1000)

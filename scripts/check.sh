@@ -6,13 +6,16 @@
 #
 # The race pass defaults to -short: the heavy end-to-end shape tests guard
 # themselves with testing.Short() so the race detector finishes in seconds
-# instead of minutes. Pass -full before a release.
+# instead of minutes. Pass -full before a release. SKIP_RACE=1 skips the
+# race pass entirely (for hosts where the race runtime is unavailable).
 #
 # A 25-iteration chaos smoke (see internal/chaos) also gates the run:
 # seeded workload/fault scenarios checked against the end-to-end integrity
 # oracles, plus a 25-iteration failover smoke (-netfaults: degraded-mode
 # collective writes under lossy links, duplication, partitions and
-# aggregator crashes). SKIP_CHAOS=1 skips both; `make chaos` runs the
+# aggregator crashes) and a 25-iteration tenant smoke (-tenants:
+# multi-tenant capacity arbitration and isolation under crashes and NVM
+# faults). SKIP_CHAOS=1 skips all three; `make chaos` runs the
 # 200-iteration soak. The fuzz corpora also replay once (Fuzz* seeds as
 # regression tests; SKIP_FUZZ=1 skips).
 #
@@ -47,9 +50,13 @@ go vet ./...
 echo "== go test ./...   (tier-1)"
 go test ./...
 
-echo "== go test -race $race_flags ./..."
-# shellcheck disable=SC2086 # race_flags is intentionally word-split
-go test -race -count=1 $race_flags ./...
+if [ "${SKIP_RACE:-}" = "1" ]; then
+    echo "== race pass skipped (SKIP_RACE=1)"
+else
+    echo "== go test -race $race_flags ./..."
+    # shellcheck disable=SC2086 # race_flags is intentionally word-split
+    go test -race -count=1 $race_flags ./...
+fi
 
 if [ "${SKIP_CHAOS:-}" = "1" ]; then
     echo "== chaos smoke skipped (SKIP_CHAOS=1)"
@@ -58,6 +65,8 @@ else
     go run ./cmd/e10chaos -iters 25 -seed 1
     echo "== failover chaos smoke (25 degraded-mode collective scenarios)"
     go run ./cmd/e10chaos -iters 25 -seed 2 -netfaults
+    echo "== tenant chaos smoke (25 multi-tenant service-mode scenarios)"
+    go run ./cmd/e10chaos -iters 25 -seed 3 -tenants
 fi
 
 if [ "${SKIP_FUZZ:-}" = "1" ]; then
