@@ -1,6 +1,7 @@
 # Tier-1 gate plus static, race and coverage checks; see scripts/check.sh.
 .PHONY: check check-full test build vet fmt-check cover trace-demo \
-	bench-record bench-compare chaos chaos-smoke chaos-failover chaos-tenants
+	bench-record bench-compare scale-bench-record scale-smoke scale \
+	chaos chaos-smoke chaos-failover chaos-tenants
 
 build:
 	go build ./...
@@ -56,11 +57,28 @@ bench-record:
 	go run ./cmd/e10bench -bench-record BENCH_$$(date +%Y-%m-%d).json
 
 # Re-run the matrix and gate against the newest committed baseline
-# (>2% virtual wall-time regression on any scenario fails).
+# (>2% virtual wall-time regression on any scenario fails). The glob
+# excludes the BENCH_SCALE_*.json kilo-rank baselines, which e10bench
+# gates separately as part of the same -bench-compare invocation.
 bench-compare:
-	@base=$$(ls BENCH_*.json 2>/dev/null | sort | tail -1); \
+	@base=$$(ls BENCH_*.json 2>/dev/null | grep -v '^BENCH_SCALE_' | sort | tail -1); \
 	if [ -z "$$base" ]; then echo "no BENCH_*.json baseline; run 'make bench-record' first" >&2; exit 1; fi; \
 	go run ./cmd/e10bench -bench-compare "$$base"
+
+# Record the kilo-rank kernel-throughput baseline: the deterministic
+# 4096-rank report digest plus a conservative events/sec floor.
+scale-bench-record:
+	go run ./cmd/e10bench -scale-bench-record BENCH_SCALE_$$(date +%Y-%m-%d).json
+
+# Kilo-rank smoke: the TestScale_ suite at its default 1024 ranks —
+# clean, lossy and aggregator-crash collective writes gated on byte
+# conservation, determinism and the committed digests.
+scale-smoke:
+	go test ./internal/harness -run '^TestScale_' -count=1 -timeout 300s
+
+# Kilo-rank soak: the same suite at 4096 ranks (512 nodes x 8).
+scale:
+	go test ./internal/harness -run '^TestScale_' -count=1 -timeout 600s -scale.ranks=4096 -v
 
 check:
 	scripts/check.sh

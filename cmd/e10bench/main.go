@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/cli"
@@ -38,7 +40,8 @@ func main() {
 		tracef   = flag.String("trace", "", "trace one representative cache-enabled coll_perf cell to this Chrome/Perfetto JSON file instead of the figures")
 		mflags   = cli.RegisterMetrics(flag.CommandLine)
 		brecord  = flag.String("bench-record", "", "run the fixed regression matrix and write the baseline JSON to this file")
-		bcompare = flag.String("bench-compare", "", "run the fixed regression matrix and compare against this baseline JSON (exit 1 on >2% regression)")
+		bcompare = flag.String("bench-compare", "", "run the fixed regression matrix and compare against this baseline JSON (exit 1 on >2% regression); also gates the newest BENCH_SCALE_*.json kilo-rank baseline when one is committed")
+		srecord  = flag.String("scale-bench-record", "", "run the 4096-rank kilo-scale benchmark and write the baseline JSON to this file")
 	)
 	flag.Parse()
 
@@ -48,6 +51,11 @@ func main() {
 	}
 	if *bcompare != "" {
 		runBenchCompare(*seed, *bcompare)
+		runScaleBenchCompare()
+		return
+	}
+	if *srecord != "" {
+		runScaleBenchRecord(*seed, *srecord)
 		return
 	}
 
@@ -338,6 +346,57 @@ func runBenchCompare(seed int64, path string) {
 	}
 	fmt.Printf("bench-compare: %d scenarios within %d%% of %s\n",
 		len(base.Scenarios), benchTolerancePct, path)
+}
+
+// runScaleBenchRecord runs the kilo-rank kernel benchmark and writes its
+// baseline: the deterministic 4096-rank report digest plus a conservative
+// events/sec floor for the throughput gate.
+func runScaleBenchRecord(seed int64, path string) {
+	rep, err := harness.RunScaleBench(seed)
+	if err != nil {
+		fatalf("scale-bench-record: %v", err)
+	}
+	b, err := harness.MarshalScaleBench(rep)
+	if err != nil {
+		fatalf("scale-bench-record: %v", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fatalf("scale-bench-record: %v", err)
+	}
+	fmt.Printf("scale-bench: %s %d ranks: %d events in %.0f ms virtual, %.0f events/sec host (floor %.0f)\n",
+		rep.Variant, rep.Ranks, rep.Events, float64(rep.WallTimeNs)/1e6,
+		rep.EventsPerSec, rep.EventsPerSecFloor)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// runScaleBenchCompare extends the -bench-compare gate to the kilo-rank
+// tier: when a BENCH_SCALE_*.json baseline is committed, the newest one is
+// re-run and gated on digest reproduction and the events/sec floor. With
+// no baseline the pass is skipped silently.
+func runScaleBenchCompare() {
+	matches, err := filepath.Glob("BENCH_SCALE_*.json")
+	if err != nil || len(matches) == 0 {
+		return
+	}
+	sort.Strings(matches)
+	path := matches[len(matches)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("scale-bench-compare: %v", err)
+	}
+	base, err := harness.ParseScaleBench(data)
+	if err != nil {
+		fatalf("scale-bench-compare: %s: %v", path, err)
+	}
+	cur, err := harness.RunScaleBench(base.Seed)
+	if err != nil {
+		fatalf("scale-bench-compare: %v", err)
+	}
+	if err := harness.CompareScaleBench(base, cur); err != nil {
+		fatalf("scale-bench-compare vs %s: %v", path, err)
+	}
+	fmt.Printf("scale-bench-compare: %d ranks reproduce %s at %.0f events/sec (floor %.0f)\n",
+		cur.Ranks, path, cur.EventsPerSec, base.EventsPerSecFloor)
 }
 
 // runMetricsDemo runs the same representative cache-enabled coll_perf cell

@@ -1,0 +1,108 @@
+package extent
+
+import "testing"
+
+// kiloSet builds a set of n disjoint 1 KiB extents with 1 KiB holes —
+// the shape a kilo-rank interleaved collective write produces in a store's
+// written-set before the two-phase exchange coalesces it.
+func kiloSet(n int) *Set {
+	var s Set
+	for i := 0; i < n; i++ {
+		s.Add(Extent{Off: int64(i) * 2048, Len: 1024})
+	}
+	return &s
+}
+
+// BenchmarkSetAddCoalesce measures the hot write path: adds that bridge
+// two existing extents, shrinking the set in place. Pre-rewrite this
+// reallocated the whole backing slice on every call.
+func BenchmarkSetAddCoalesce(b *testing.B) {
+	const n = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := kiloSet(n)
+		b.StartTimer()
+		// Fill every hole: each Add merges its two neighbours.
+		for j := 0; j < n-1; j++ {
+			s.Add(Extent{Off: int64(j)*2048 + 1024, Len: 1024})
+		}
+		if s.Len() != 1 {
+			b.Fatalf("set did not coalesce: %d extents", s.Len())
+		}
+	}
+}
+
+// BenchmarkSetAddExtend measures the append-only pattern of a contiguous
+// writer: every add extends the set's last extent in place.
+func BenchmarkSetAddExtend(b *testing.B) {
+	b.ReportAllocs()
+	var s Set
+	for i := 0; i < b.N; i++ {
+		s.Add(Extent{Off: int64(i) * 1024, Len: 1024})
+	}
+	if s.Len() != 1 {
+		b.Fatalf("set did not stay coalesced: %d extents", s.Len())
+	}
+}
+
+// BenchmarkSetRemoveSplit measures Remove carving holes out of one large
+// extent — the cache-eviction pattern — growing the set by one per call.
+func BenchmarkSetRemoveSplit(b *testing.B) {
+	const n = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var s Set
+		s.Add(Extent{Off: 0, Len: int64(n) * 2048})
+		b.StartTimer()
+		for j := 0; j < n-1; j++ {
+			s.Remove(Extent{Off: int64(j)*2048 + 1024, Len: 1024})
+		}
+	}
+}
+
+// BenchmarkSetCovers measures the conservation oracle's inner loop: a
+// binary-search containment probe against a kilo-extent set.
+func BenchmarkSetCovers(b *testing.B) {
+	const n = 4096
+	s := kiloSet(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Extent{Off: int64(i%n) * 2048, Len: 1024}
+		if !s.Covers(e) {
+			b.Fatalf("set should cover %v", e)
+		}
+	}
+}
+
+// BenchmarkExtentIntersect measures the pairwise range intersection used
+// throughout the two-phase exchange to clip file domains.
+func BenchmarkExtentIntersect(b *testing.B) {
+	b.ReportAllocs()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		a := Extent{Off: int64(i % 1024), Len: 4096}
+		c := Extent{Off: 2048, Len: 4096}
+		total += a.Intersect(c).Len
+	}
+	_ = total
+}
+
+// BenchmarkSetGaps measures hole enumeration over a fragmented kilo-set,
+// the read-modify-write planning path.
+func BenchmarkSetGaps(b *testing.B) {
+	const n = 1024
+	s := kiloSet(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gaps := s.Gaps(Extent{Off: 0, Len: int64(n) * 2048})
+		if len(gaps) != n {
+			b.Fatalf("want %d gaps, got %d", n, len(gaps))
+		}
+	}
+}

@@ -76,7 +76,10 @@ func (s *Set) Add(e Extent) {
 	s.ext = mergeInto(s.ext, i, j, e)
 }
 
-// mergeInto replaces s.ext[i:j] with the union of e and those extents.
+// mergeInto replaces ext[i:j] with the union of e and those extents. The
+// edit is done in place when capacity allows: Add sits on the per-write
+// path of every store, cache and lock table, and allocating a fresh slice
+// per insertion is quadratic churn on kilo-extent sets.
 func mergeInto(ext []Extent, i, j int, e Extent) []Extent {
 	lo, hi := e.Off, e.End()
 	for k := i; k < j; k++ {
@@ -84,11 +87,24 @@ func mergeInto(ext []Extent, i, j int, e Extent) []Extent {
 		hi = max64(hi, ext[k].End())
 	}
 	merged := Extent{Off: lo, Len: hi - lo}
-	out := make([]Extent, 0, len(ext)-(j-i)+1)
-	out = append(out, ext[:i]...)
-	out = append(out, merged)
-	out = append(out, ext[j:]...)
-	return out
+	switch {
+	case j-i == 1:
+		// Common case (overlap/extend one neighbour, or replace it): no
+		// element moves at all.
+		ext[i] = merged
+		return ext
+	case j-i > 1:
+		// Net shrink: keep the prefix, drop the excess in place.
+		ext[i] = merged
+		n := copy(ext[i+1:], ext[j:])
+		return ext[:i+1+n]
+	default:
+		// Net insert at i.
+		ext = append(ext, Extent{})
+		copy(ext[i+1:], ext[i:])
+		ext[i] = merged
+		return ext
+	}
 }
 
 // Extents returns a copy of the extents in ascending offset order.
@@ -128,25 +144,54 @@ func (s *Set) Overlaps(e Extent) bool {
 	return i < len(s.ext) && s.ext[i].Off < e.End()
 }
 
-// Remove deletes e's byte range from the set, splitting extents as needed.
+// Remove deletes e's byte range from the set, splitting extents as
+// needed. Like Add, the edit is in place: only the extents overlapping e
+// are touched, instead of rebuilding the whole slice per call.
 func (s *Set) Remove(e Extent) {
 	if e.Empty() || len(s.ext) == 0 {
 		return
 	}
-	var out []Extent
-	for _, x := range s.ext {
-		if !x.Overlaps(e) {
-			out = append(out, x)
-			continue
-		}
-		if x.Off < e.Off {
-			out = append(out, Extent{Off: x.Off, Len: e.Off - x.Off})
-		}
-		if x.End() > e.End() {
-			out = append(out, Extent{Off: e.End(), Len: x.End() - e.End()})
-		}
+	i := sort.Search(len(s.ext), func(i int) bool { return s.ext[i].End() > e.Off })
+	if i == len(s.ext) || s.ext[i].Off >= e.End() {
+		return // nothing overlaps
 	}
-	s.ext = out
+	j := i
+	for j < len(s.ext) && s.ext[j].Off < e.End() {
+		j++
+	}
+	// Boundary remainders of the first and last overlapped extents.
+	var left, right Extent
+	hasLeft := s.ext[i].Off < e.Off
+	if hasLeft {
+		left = Extent{Off: s.ext[i].Off, Len: e.Off - s.ext[i].Off}
+	}
+	hasRight := s.ext[j-1].End() > e.End()
+	if hasRight {
+		right = Extent{Off: e.End(), Len: s.ext[j-1].End() - e.End()}
+	}
+	keep := 0
+	if hasLeft {
+		keep++
+	}
+	if hasRight {
+		keep++
+	}
+	switch d := (j - i) - keep; {
+	case d > 0: // net shrink: slide the tail left
+		n := copy(s.ext[i+keep:], s.ext[j:])
+		s.ext = s.ext[:i+keep+n]
+	case d < 0: // d == -1: a mid-extent split grows the set by one
+		s.ext = append(s.ext, Extent{})
+		copy(s.ext[i+2:], s.ext[i+1:])
+	}
+	pos := i
+	if hasLeft {
+		s.ext[pos] = left
+		pos++
+	}
+	if hasRight {
+		s.ext[pos] = right
+	}
 }
 
 // Gaps returns the sub-ranges of e not covered by the set, in order.

@@ -95,6 +95,12 @@ type Spec struct {
 	// Requires Reliable (the failover protocol needs collective
 	// timeouts).
 	Resilient bool
+	// PreRun, when non-nil, runs against the freshly assembled cluster
+	// after the reliability layer is armed but before faults are scheduled
+	// and ranks start. It is the hook scale runs and tests use to wire
+	// Cluster.OnCrash, arm per-node loss probabilities, or schedule
+	// virtual-time callbacks. Everything it does must be deterministic.
+	PreRun func(cl *Cluster) error
 }
 
 // DefaultCollTimeout is the collective timeout Run arms when
@@ -138,9 +144,16 @@ type Result struct {
 	Breakdown map[mpe.Phase]sim.Time
 	// WallTime is the total simulated run time.
 	WallTime sim.Time
+	// EventsDispatched is the number of kernel events the run consumed —
+	// the numerator of the simulated-events-per-second throughput metric.
+	EventsDispatched int64
 	// PeakBufBytes is the largest collective buffer allocated on any rank
 	// (memory pressure, the paper's point (d)).
 	PeakBufBytes int64
+	// FailoverEpochs is the largest number of resilient-write membership
+	// epochs beyond the first observed on any rank (zero unless an
+	// aggregator crashed mid-write on the resilient path).
+	FailoverEpochs int64
 	// Logs holds the per-rank MPE logs (with timelines when Spec.Trace is
 	// set), for trace export via mpe.WriteChromeTrace.
 	Logs []*mpe.Log
@@ -238,6 +251,11 @@ func Run(spec Spec) (*Result, error) {
 		}
 		cl.World.SetCollTimeout(ct)
 	}
+	if spec.PreRun != nil {
+		if err := spec.PreRun(cl); err != nil {
+			return nil, err
+		}
+	}
 	var injector *fault.Injector
 	if spec.FaultSpec != "" {
 		sched, err := fault.Parse(spec.FaultSpec)
@@ -274,6 +292,7 @@ func Run(spec Spec) (*Result, error) {
 		closeWaits[i] = make([]sim.Time, nranks)
 	}
 	peakBuf := make([]int64, nranks)
+	failovers := make([]int64, nranks)
 	var firstErr error
 	fail := func(err error) {
 		if err != nil && firstErr == nil {
@@ -296,6 +315,9 @@ func Run(spec Spec) (*Result, error) {
 			peak := prev.Handle().Stats.PeakBufBytes
 			if peak > peakBuf[me] {
 				peakBuf[me] = peak
+			}
+			if fe := prev.Handle().Stats.FailoverEpochs; fe > failovers[me] {
+				failovers[me] = fe
 			}
 			prev, prevIdx = nil, -1
 		}
@@ -333,11 +355,12 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	res := &Result{
-		Spec:       spec,
-		TotalBytes: spec.Workload.FileBytes(nranks) * int64(spec.NFiles),
-		Breakdown:  make(map[mpe.Phase]sim.Time),
-		WallTime:   cl.Kernel.Now(),
-		Logs:       logs,
+		Spec:             spec,
+		TotalBytes:       spec.Workload.FileBytes(nranks) * int64(spec.NFiles),
+		Breakdown:        make(map[mpe.Phase]sim.Time),
+		WallTime:         cl.Kernel.Now(),
+		EventsDispatched: cl.Kernel.EventsDispatched(),
+		Logs:             logs,
 	}
 	res.Report = ClusterReport(cl)
 	if injector != nil {
@@ -384,6 +407,11 @@ func Run(spec Spec) (*Result, error) {
 	for _, pb := range peakBuf {
 		if pb > res.PeakBufBytes {
 			res.PeakBufBytes = pb
+		}
+	}
+	for _, fe := range failovers {
+		if fe > res.FailoverEpochs {
+			res.FailoverEpochs = fe
 		}
 	}
 	return res, nil

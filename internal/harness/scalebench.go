@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ScaleBenchSchema identifies the kilo-rank benchmark baseline format
+// (BENCH_SCALE_<date>.json).
+const ScaleBenchSchema = "e10scalebench/v1"
+
+// ScaleBenchRanks is the scale the bench tier runs at: the largest golden
+// cell, 4096 ranks on 512 nodes.
+const ScaleBenchRanks = 4096
+
+// ScaleBenchReport is the kilo-rank kernel-throughput baseline. Digest,
+// WallTimeNs and Events are deterministic and must reproduce exactly;
+// EventsPerSec is the host-side measurement at record time, and
+// EventsPerSecFloor the conservative gate derived from it — a later run
+// whose throughput falls below the floor fails the compare, catching
+// kernel-performance regressions that virtual time cannot see.
+type ScaleBenchReport struct {
+	Schema            string       `json:"schema"`
+	Variant           ScaleVariant `json:"variant"`
+	Ranks             int          `json:"ranks"`
+	Seed              int64        `json:"seed"`
+	Digest            string       `json:"digest"`
+	WallTimeNs        int64        `json:"wall_time_ns"`
+	Events            int64        `json:"events"`
+	EventsPerSec      float64      `json:"events_per_sec"`
+	EventsPerSecFloor float64      `json:"events_per_sec_floor"`
+}
+
+// scaleBenchFloorDiv sets the recorded floor at measured/2: enough headroom
+// for slower hosts and noisy neighbours, while still failing on an
+// order-of-magnitude kernel regression (the pre-optimisation kernel ran
+// below half the optimised throughput).
+const scaleBenchFloorDiv = 2
+
+// RunScaleBench runs the 4096-rank clean collective write and returns the
+// throughput report.
+func RunScaleBench(seed int64) (*ScaleBenchReport, error) {
+	rep, err := RunScale(ScaleConfig{Variant: ScaleClean, Ranks: ScaleBenchRanks, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &ScaleBenchReport{
+		Schema:            ScaleBenchSchema,
+		Variant:           ScaleClean,
+		Ranks:             rep.Ranks,
+		Seed:              rep.Seed,
+		Digest:            rep.Digest(),
+		WallTimeNs:        rep.WallTimeNs,
+		Events:            rep.Events,
+		EventsPerSec:      rep.EventsPerSec,
+		EventsPerSecFloor: rep.EventsPerSec / scaleBenchFloorDiv,
+	}, nil
+}
+
+// MarshalScaleBench renders a report as the committed JSON baseline.
+func MarshalScaleBench(rep *ScaleBenchReport) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scalebench: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseScaleBench decodes a BENCH_SCALE_*.json baseline.
+func ParseScaleBench(data []byte) (*ScaleBenchReport, error) {
+	var rep ScaleBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("scalebench: %w", err)
+	}
+	if rep.Schema != ScaleBenchSchema {
+		return nil, fmt.Errorf("scalebench: unsupported schema %q (want %q)", rep.Schema, ScaleBenchSchema)
+	}
+	return &rep, nil
+}
+
+// CompareScaleBench gates cur against the committed baseline: the digest,
+// virtual wall time and event count must reproduce exactly (the simulation
+// is deterministic), and the measured throughput must not fall below the
+// recorded floor.
+func CompareScaleBench(base, cur *ScaleBenchReport) error {
+	if cur.Digest != base.Digest {
+		return fmt.Errorf("scalebench: digest %s, baseline %s — the simulation diverged", cur.Digest, base.Digest)
+	}
+	if cur.WallTimeNs != base.WallTimeNs || cur.Events != base.Events {
+		return fmt.Errorf("scalebench: wall=%dns events=%d, baseline wall=%dns events=%d",
+			cur.WallTimeNs, cur.Events, base.WallTimeNs, base.Events)
+	}
+	if cur.EventsPerSec < base.EventsPerSecFloor {
+		return fmt.Errorf("scalebench: %.0f events/sec is below the recorded floor %.0f (baseline measured %.0f)",
+			cur.EventsPerSec, base.EventsPerSecFloor, base.EventsPerSec)
+	}
+	return nil
+}

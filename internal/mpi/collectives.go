@@ -342,13 +342,38 @@ func (c *Comm) beginColl(r *Rank, name string) collSpan {
 		cs.sp = tr.Begin(r.TraceTrack(tr), "mpi", name, int64(r.proc.Now()))
 	}
 	if m := c.w.k.Metrics(); m != nil {
-		cs.h = m.Histogram("mpi_coll_ns",
-			metrics.L(metrics.KeyLayer, "mpi"), metrics.L(metrics.KeyOp, name))
-		m.Counter("mpi_colls_total",
-			metrics.L(metrics.KeyLayer, "mpi"), metrics.L(metrics.KeyOp, name)).Inc()
+		cm := c.w.collMetricsFor(m, name)
+		cs.h = cm.ns
+		cm.calls.Inc()
 		cs.t0 = r.proc.Now()
 	}
 	return cs
+}
+
+// collMetrics is one collective op's cached metric handles.
+type collMetrics struct {
+	ns    *metrics.Histogram
+	calls *metrics.Counter
+}
+
+// collMetricsFor resolves (and caches) the handles for one collective op.
+// Resolving through the registry canonicalizes the label set on every
+// call; the per-op cache keeps the steady-state cost at one map hit.
+func (w *World) collMetricsFor(m *metrics.Registry, name string) collMetrics {
+	if cm, ok := w.collM[name]; ok {
+		return cm
+	}
+	cm := collMetrics{
+		ns: m.Histogram("mpi_coll_ns",
+			metrics.L(metrics.KeyLayer, "mpi"), metrics.L(metrics.KeyOp, name)),
+		calls: m.Counter("mpi_colls_total",
+			metrics.L(metrics.KeyLayer, "mpi"), metrics.L(metrics.KeyOp, name)),
+	}
+	if w.collM == nil {
+		w.collM = make(map[string]collMetrics)
+	}
+	w.collM[name] = cm
+	return cm
 }
 
 // end closes the span at the rank's current virtual time.
@@ -436,10 +461,11 @@ func (c *Comm) Allgather(r *Rank, vals []int64) [][]int64 {
 	if c.model == MessagePassing {
 		return c.msgAllgather(r, vals)
 	}
-	inputs := c.sync(r, "allgather", int64(8*len(vals)), vals)
-	out := make([][]int64, len(inputs))
-	copy(out, inputs)
-	return out
+	// The rendezvous result is returned as-is: the state it lives in is
+	// released once the collective completes, and callers treat it as
+	// read-only. Copying the outer slice would cost O(ranks) per caller —
+	// 400 MB across one 4096-rank collective write.
+	return c.sync(r, "allgather", int64(8*len(vals)), vals)
 }
 
 // Alltoall sends send[i] to comm rank i and returns recv where recv[i] is
@@ -526,9 +552,8 @@ func (c *Comm) TryAllgather(r *Rank, vals []int64) ([][]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]int64, len(inputs))
-	copy(out, inputs)
-	return out, nil
+	// Shared read-only rendezvous result; see Allgather.
+	return inputs, nil
 }
 
 // TryAlltoall is Alltoall with timeout surfacing.

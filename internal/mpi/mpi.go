@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -44,6 +45,33 @@ type World struct {
 	// collective — the chaos harness's no_stuck_collective oracle.
 	collStarted []int64
 	collDone    []int64
+
+	// Per-message metric handles, registered lazily on first use (the
+	// registry may be attached to the kernel after the world is built).
+	// Resolving a handle through the registry canonicalizes the label set
+	// on every call; caching keeps the per-message cost at one branch.
+	mreg      bool
+	mP2PMsgs  *metrics.Counter
+	mP2PBytes *metrics.Counter
+	mP2PNs    *metrics.Histogram
+	collM     map[string]collMetrics // per-op collective metric handles
+}
+
+// metricsOn resolves (and caches) the world's per-message metric handles;
+// it returns false when metrics are disabled.
+func (w *World) metricsOn() bool {
+	m := w.k.Metrics()
+	if m == nil {
+		return false
+	}
+	if !w.mreg {
+		layer := metrics.L(metrics.KeyLayer, "mpi")
+		w.mP2PMsgs = m.Counter("mpi_p2p_msgs_total", layer)
+		w.mP2PBytes = m.Counter("mpi_p2p_bytes_total", layer)
+		w.mP2PNs = m.Histogram("mpi_p2p_ns", layer)
+		w.mreg = true
+	}
+	return true
 }
 
 // NewWorld creates ranksPerNode ranks on every node of the fabric, in

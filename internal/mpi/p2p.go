@@ -23,6 +23,13 @@ type Message struct {
 	relSeq uint64 // reliable-delivery stream sequence number
 }
 
+// procName names the simulation process that carries this message. It is
+// passed lazily to SpawnLazy: the formatting only runs if a deadlock
+// report or panic ever needs the name.
+func (m Message) procName() string {
+	return fmt.Sprintf("msg.%d->%d.t%d", m.Src, m.Dst, m.Tag)
+}
+
 // Request is a nonblocking-operation handle (MPI_Request). A Request is
 // also the unit of MPI generalized requests: external agents — such as the
 // cache sync thread — complete it via Complete.
@@ -197,15 +204,14 @@ func (w *World) sendLocal(r *Rank, dstRank *Rank, m Message, req *Request) {
 	}
 	var p2pNs *metrics.Histogram
 	var t0 sim.Time
-	if mt := w.k.Metrics(); mt != nil {
-		layer := metrics.L(metrics.KeyLayer, "mpi")
-		mt.Counter("mpi_p2p_msgs_total", layer).Inc()
-		mt.Counter("mpi_p2p_bytes_total", layer).Add(m.Size)
-		p2pNs = mt.Histogram("mpi_p2p_ns", layer)
+	if w.metricsOn() {
+		w.mP2PMsgs.Inc()
+		w.mP2PBytes.Add(m.Size)
+		p2pNs = w.mP2PNs
 		t0 = r.proc.Now()
 	}
 	node := r.node
-	w.k.Spawn(fmt.Sprintf("msg.%d->%d.t%d", m.Src, m.Dst, m.Tag), func(p *sim.Proc) {
+	w.k.SpawnLazy(func() string { return m.procName() }, func(p *sim.Proc) {
 		node.LocalCopy(p, m.Size)
 		req.Complete()
 		if tr != nil {
@@ -240,19 +246,18 @@ func (w *World) sendPhysical(m Message, req *Request, fate netsim.Fate, retrans 
 		}
 		// The same lifetime — Isend to delivery — is one sample in the p2p
 		// latency histogram.
-		if mt := w.k.Metrics(); mt != nil {
-			layer := metrics.L(metrics.KeyLayer, "mpi")
-			mt.Counter("mpi_p2p_msgs_total", layer).Inc()
-			mt.Counter("mpi_p2p_bytes_total", layer).Add(m.Size)
-			p2pNs = mt.Histogram("mpi_p2p_ns", layer)
+		if w.metricsOn() {
+			w.mP2PMsgs.Inc()
+			w.mP2PBytes.Add(m.Size)
+			p2pNs = w.mP2PNs
 			t0 = w.k.Now()
 		}
 	}
-	name := fmt.Sprintf("msg.%d->%d.t%d", m.Src, m.Dst, m.Tag)
+	name := func() string { return m.procName() }
 	if retrans {
-		name = "re" + name
+		name = func() string { return "re" + m.procName() }
 	}
-	w.k.Spawn(name, func(p *sim.Proc) {
+	w.k.SpawnLazy(name, func(p *sim.Proc) {
 		srcNode.Inject(p, m.Size)
 		if req != nil {
 			req.Complete() // eager semantics: the send buffer has left the node

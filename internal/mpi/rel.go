@@ -68,6 +68,33 @@ type relState struct {
 	retransmits int64
 	dedups      int64
 	giveUps     int64
+
+	// free is the outMsg recycle list. Every inter-node message allocates
+	// one retention record; on kilo-rank runs that is one allocation per
+	// message unless released records are reused. The simulation is
+	// single-threaded, so a plain stack works.
+	free []*outMsg
+}
+
+// getOut returns a retention record for m, reusing a released one when
+// possible.
+func (rel *relState) getOut(m Message) *outMsg {
+	if n := len(rel.free); n > 0 {
+		om := rel.free[n-1]
+		rel.free = rel.free[:n-1]
+		*om = outMsg{msg: m, backoff: rel.cfg.RetransmitAfter}
+		return om
+	}
+	return &outMsg{msg: m, backoff: rel.cfg.RetransmitAfter}
+}
+
+// putOut releases om for reuse, dropping its payload reference. Safe
+// against the stale-timer race: a recycled record can never be re-keyed
+// under its old (stream, seq) — sequence numbers are never reused — so
+// the pointer-identity check in the retransmit callback stays sound.
+func (rel *relState) putOut(om *outMsg) {
+	*om = outMsg{}
+	rel.free = append(rel.free, om)
 }
 
 // EnableReliable arms the reliable-delivery layer for all inter-node
@@ -130,7 +157,7 @@ func (rel *relState) retain(k relKey, m Message) {
 	if rel.outstanding[k] == nil {
 		rel.outstanding[k] = make(map[uint64]*outMsg)
 	}
-	rel.outstanding[k][m.relSeq] = &outMsg{msg: m, backoff: rel.cfg.RetransmitAfter}
+	rel.outstanding[k][m.relSeq] = rel.getOut(m)
 }
 
 // ack releases the retained copy of (k, seq); the receiver has it.
@@ -143,6 +170,7 @@ func (rel *relState) ack(k relKey, seq uint64) {
 		om.timer.Stop()
 	}
 	delete(rel.outstanding[k], seq)
+	rel.putOut(om)
 }
 
 // onLost is the sender-side loss reaction: schedule a retransmit with the
@@ -161,7 +189,11 @@ func (w *World) onLost(m Message) {
 	}
 	if om.attempts >= rel.cfg.MaxAttempts {
 		rel.giveUps++
+		if om.timer != nil {
+			om.timer.Stop()
+		}
 		delete(rel.outstanding[k], m.relSeq)
+		rel.putOut(om)
 		return
 	}
 	om.attempts++

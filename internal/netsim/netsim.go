@@ -133,6 +133,16 @@ func (f *Fabric) Isolated(id int) bool {
 	return false
 }
 
+// Drops returns the total outbound messages lost across all nodes (lossy
+// links and partition cuts).
+func (f *Fabric) Drops() int64 {
+	var n int64
+	for _, nd := range f.nodes {
+		n += nd.drops
+	}
+	return n
+}
+
 // OnChange registers fn to run after every partition topology change.
 func (f *Fabric) OnChange(fn func()) { f.onChange = append(f.onChange, fn) }
 
@@ -175,6 +185,8 @@ type Node struct {
 	slow   float64 // link speed factor in (0, 1]; 1 = nominal
 	dropP  float64 // probability an outbound message is lost; 0 = reliable
 	dupP   float64 // probability an outbound message is duplicated
+	drops  int64   // messages lost on this node's outbound link
+	dups   int64   // messages duplicated on this node's outbound link
 
 	// Metric handles, registered lazily on first use (the registry may be
 	// attached to the kernel after the fabric is built).
@@ -263,17 +275,25 @@ func (n *Node) Isolated() bool { return n.fabric.Isolated(n.id) }
 // link or partition cut). The bytes never reach the wire, so only the
 // counter moves.
 func (n *Node) CountDrop() {
+	n.drops++
 	if n.metricsOn() {
 		n.mDrops.Inc()
 	}
 }
 
+// Drops returns how many outbound messages this node has lost.
+func (n *Node) Drops() int64 { return n.drops }
+
 // CountDup records one message duplicated on this node's outbound link.
 func (n *Node) CountDup() {
+	n.dups++
 	if n.metricsOn() {
 		n.mDups.Inc()
 	}
 }
+
+// Dups returns how many outbound messages this node has duplicated.
+func (n *Node) Dups() int64 { return n.dups }
 
 // stretch scales a nominal NIC duration by the degradation factor.
 func (n *Node) stretch(d sim.Time) sim.Time {

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -21,25 +20,6 @@ type event struct {
 	tm  *Timer // cancellable-timer handle, or nil
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
-}
-
 // ErrEventBudget is wrapped by the error Run returns when the liveness
 // watchdog armed via SetEventBudget trips: the simulation dispatched more
 // events than the budget allows, which in a finite workload means a
@@ -51,7 +31,7 @@ var ErrEventBudget = errors.New("sim: event budget exhausted")
 type Kernel struct {
 	now        Time
 	seq        uint64
-	queue      eventHeap
+	queue      eventQueue
 	rng        *rand.Rand
 	nextID     int
 	budget     int64 // max events Run may dispatch; 0 = unlimited
@@ -135,7 +115,7 @@ func (k *Kernel) schedule(ev event) {
 	}
 	ev.seq = k.seq
 	k.seq++
-	heap.Push(&k.queue, ev)
+	k.queue.Push(ev, k.now)
 }
 
 // After runs fn at time Now()+d in kernel context. fn must not block; it may
@@ -183,9 +163,22 @@ func (k *Kernel) AfterTimer(d Time, fn func()) *Timer {
 // Spawn creates a new simulation process that begins executing fn at the
 // current virtual time (or, when called before Run, at time zero).
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, nil, fn)
+}
+
+// SpawnLazy is Spawn for hot paths that create many short-lived processes
+// (one per simulated message): the name is computed only when actually
+// observed — a deadlock report, a panic, an explicit Name() call — so the
+// fast path never pays for formatting it.
+func (k *Kernel) SpawnLazy(nameFn func() string, fn func(p *Proc)) *Proc {
+	return k.spawn("", nameFn, fn)
+}
+
+func (k *Kernel) spawn(name string, nameFn func() string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		k:      k,
 		name:   name,
+		nameFn: nameFn,
 		id:     k.nextID,
 		resume: make(chan struct{}),
 		ttk:    trace.NoTrack,
@@ -222,7 +215,7 @@ func (k *Kernel) transferTo(p *Proc) {
 	p.resume <- struct{}{}
 	<-k.yield
 	if p.panicked != nil {
-		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicked))
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.Name(), p.panicked))
 	}
 }
 
@@ -241,7 +234,7 @@ func (k *Kernel) Run() error {
 				ErrEventBudget, k.dispatched, k.now)
 			return k.err
 		}
-		ev := heap.Pop(&k.queue).(event)
+		ev := k.queue.Pop()
 		if ev.tm != nil && ev.tm.stopped {
 			continue // cancelled timer: dropped before it can touch k.now
 		}
@@ -261,7 +254,7 @@ func (k *Kernel) Run() error {
 	if len(k.live) > 0 {
 		names := make([]string, 0, len(k.live))
 		for _, p := range k.live {
-			names = append(names, p.name)
+			names = append(names, p.Name())
 		}
 		sort.Strings(names)
 		k.err = fmt.Errorf("sim: deadlock at t=%v: %d process(es) still blocked: %v", k.now, len(names), names)
@@ -276,6 +269,7 @@ func (k *Kernel) Run() error {
 type Proc struct {
 	k        *Kernel
 	name     string
+	nameFn   func() string // lazy name, resolved on first Name() call
 	id       int
 	resume   chan struct{}
 	done     bool
@@ -283,8 +277,15 @@ type Proc struct {
 	ttk      trace.TrackID
 }
 
-// Name returns the process name given at Spawn.
-func (p *Proc) Name() string { return p.name }
+// Name returns the process name given at Spawn, resolving a SpawnLazy
+// name on first use.
+func (p *Proc) Name() string {
+	if p.name == "" && p.nameFn != nil {
+		p.name = p.nameFn()
+		p.nameFn = nil
+	}
+	return p.name
+}
 
 // ID returns the process's unique id within its kernel.
 func (p *Proc) ID() int { return p.id }

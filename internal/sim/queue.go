@@ -1,0 +1,132 @@
+package sim
+
+// eventQueue is the kernel's pending-event set, ordered by (t, seq).
+//
+// It replaces a container/heap binary heap, which boxed every event into
+// an interface{} on Push and Pop — one heap allocation per scheduled
+// event. This queue is two-tier and allocation-free in steady state:
+//
+//   - now: a FIFO ring of events scheduled for the current virtual time.
+//     Same-time scheduling (Wake, Sleep(0), After(0)) is the kernel's
+//     most common operation, and such events are pushed in seq order and
+//     consumed in seq order, so a ring is already sorted — push and pop
+//     are O(1).
+//   - future: a 4-ary min-heap of events scheduled for a later time.
+//     4-ary halves the tree depth of a binary heap and keeps children in
+//     one cache line.
+//
+// Pop compares the ring head against the heap top under the same (t, seq)
+// total order the old heap used, so the pop sequence — and with it every
+// virtual-time tie-break — is bit-for-bit identical. The invariants that
+// make the ring correct:
+//
+//   - seq increases monotonically with Push calls, so ring entries are
+//     FIFO-sorted by seq and share t == now-at-push.
+//   - a heap entry with the same t as a ring entry was necessarily pushed
+//     earlier (while that t was still in the future), so its seq is
+//     smaller and the compare pops it first.
+//   - time only advances by popping a future event, which the compare
+//     permits only once the ring is empty.
+type eventQueue struct {
+	now     []event // FIFO ring of events at the current virtual time
+	head    int     // index of the ring's oldest entry
+	future  []event // 4-ary min-heap on (t, seq)
+	current Time    // the "now" the ring is bucketed on
+}
+
+// Len returns the number of pending events.
+func (q *eventQueue) Len() int {
+	return (len(q.now) - q.head) + len(q.future)
+}
+
+// eventBefore is the queue's total order: earlier time first, then lower
+// sequence number (FIFO among same-time events).
+func eventBefore(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// Push inserts ev. now is the kernel's current virtual time; events
+// scheduled exactly at it take the ring fast path.
+func (q *eventQueue) Push(ev event, now Time) {
+	if ev.t == now && q.ringUsable(now) {
+		q.now = append(q.now, ev)
+		q.current = now
+		return
+	}
+	q.future = append(q.future, ev)
+	q.up(len(q.future) - 1)
+}
+
+// ringUsable reports whether the ring can accept an event at now: it is
+// empty (and can be re-bucketed) or already holds events at this time.
+func (q *eventQueue) ringUsable(now Time) bool {
+	if q.head == len(q.now) {
+		q.now = q.now[:0]
+		q.head = 0
+		return true
+	}
+	return q.current == now
+}
+
+// Pop removes and returns the smallest pending event under (t, seq).
+// It must not be called on an empty queue.
+func (q *eventQueue) Pop() event {
+	ringOK := q.head < len(q.now)
+	heapOK := len(q.future) > 0
+	if ringOK && (!heapOK || eventBefore(&q.now[q.head], &q.future[0])) {
+		ev := q.now[q.head]
+		q.now[q.head] = event{} // release fn/p/tm references
+		q.head++
+		return ev
+	}
+	ev := q.future[0]
+	n := len(q.future) - 1
+	q.future[0] = q.future[n]
+	q.future[n] = event{}
+	q.future = q.future[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return ev
+}
+
+const heapArity = 4
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !eventBefore(&q.future[i], &q.future[parent]) {
+			return
+		}
+		q.future[i], q.future[parent] = q.future[parent], q.future[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.future)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventBefore(&q.future[c], &q.future[min]) {
+				min = c
+			}
+		}
+		if !eventBefore(&q.future[min], &q.future[i]) {
+			return
+		}
+		q.future[i], q.future[min] = q.future[min], q.future[i]
+		i = min
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventQueueMatchesReferenceModel drives the two-tier queue with a
+// random push/pop schedule and checks every pop against a reference model:
+// a stable sort on (t, seq). The pop order must be a pure function of the
+// (time, insertion-sequence) pairs — the property that lets the queue
+// implementation change without moving a single golden trace.
+func TestEventQueueMatchesReferenceModel(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q eventQueue
+		var model []event
+		var seq uint64
+		now := Time(0)
+		for op := 0; op < 2000; op++ {
+			if len(model) == 0 || rng.Intn(3) != 0 {
+				// Push at now (the ring path) or in the future (the heap
+				// path), with plenty of ties to exercise the seq tie-break.
+				dt := Time(rng.Intn(4))
+				ev := event{t: now + dt, seq: seq}
+				seq++
+				q.Push(ev, now)
+				model = append(model, ev)
+				continue
+			}
+			sort.SliceStable(model, func(i, j int) bool {
+				return eventBefore(&model[i], &model[j])
+			})
+			want := model[0]
+			model = model[1:]
+			got := q.Pop()
+			if got.t != want.t || got.seq != want.seq {
+				t.Fatalf("seed %d op %d: popped (t=%v seq=%d), model says (t=%v seq=%d)",
+					seed, op, got.t, got.seq, want.t, want.seq)
+			}
+			if got.t < now {
+				t.Fatalf("seed %d op %d: time ran backwards: %v after %v", seed, op, got.t, now)
+			}
+			now = got.t
+		}
+		for len(model) > 0 {
+			sort.SliceStable(model, func(i, j int) bool {
+				return eventBefore(&model[i], &model[j])
+			})
+			want := model[0]
+			model = model[1:]
+			got := q.Pop()
+			if got.t != want.t || got.seq != want.seq {
+				t.Fatalf("seed %d drain: popped (t=%v seq=%d), model says (t=%v seq=%d)",
+					seed, got.t, got.seq, want.t, want.seq)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("seed %d: queue not empty after drain: %d left", seed, q.Len())
+		}
+	}
+}
+
+// TestKernelDispatchOrderIsPureFunctionOfSeedAndSequence runs the same
+// randomized timer schedule twice and requires identical callback order:
+// event ordering depends only on (seed, insertion sequence), never on
+// anything the host contributes. This is the contract every queue rewrite
+// must keep — it is what makes golden traces and scale digests stable.
+func TestKernelDispatchOrderIsPureFunctionOfSeedAndSequence(t *testing.T) {
+	run := func(seed int64) []int {
+		k := NewKernel(seed)
+		rng := rand.New(rand.NewSource(seed))
+		var order []int
+		for i := 0; i < 500; i++ {
+			i := i
+			// Many collisions: only 16 distinct times for 500 timers.
+			k.After(Time(rng.Intn(16))*Millisecond, func() {
+				order = append(order, i)
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("dispatch counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dispatch order diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Same-time timers must fire in insertion order: within each time
+	// bucket the recorded indices ascend.
+	rng := rand.New(rand.NewSource(7))
+	at := make([]int, 500)
+	for i := range at {
+		at[i] = rng.Intn(16)
+	}
+	last := make(map[int]int)
+	for _, idx := range a {
+		if prev, ok := last[at[idx]]; ok && prev > idx {
+			t.Fatalf("timers at t=%dms fired out of insertion order: %d before %d",
+				at[idx], prev, idx)
+		}
+		last[at[idx]] = idx
+	}
+}
+
+// TestEventQueueSteadyStateZeroAlloc pins the tentpole allocation
+// property: once the ring and heap have grown to working size, push/pop
+// traffic allocates nothing — unlike container/heap, which boxes every
+// event into an interface value on both Push and Pop.
+func TestEventQueueSteadyStateZeroAlloc(t *testing.T) {
+	var q eventQueue
+	var seq uint64
+	now := Time(0)
+	// Warm up the backing arrays.
+	for i := 0; i < 4096; i++ {
+		q.Push(event{t: now + Time(i%7), seq: seq}, now)
+		seq++
+	}
+	for q.Len() > 0 {
+		now = q.Pop().t
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 256; i++ {
+			q.Push(event{t: now + Time(i%5), seq: seq}, now)
+			seq++
+		}
+		for q.Len() > 0 {
+			now = q.Pop().t
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkEventQueuePushPop cycles 4096 events — the scale harness's
+// station count — through the queue with realistic time spread: a burst of
+// same-time events (the ring fast path) plus future timers (the heap).
+func BenchmarkEventQueuePushPop(b *testing.B) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(1))
+	dts := make([]Time, n)
+	for i := range dts {
+		if i%4 == 0 {
+			dts[i] = 0 // 25% at now: the ring path
+		} else {
+			dts[i] = Time(1 + rng.Intn(1<<16))
+		}
+	}
+	var q eventQueue
+	var seq uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := Time(0)
+		for j := 0; j < n; j++ {
+			q.Push(event{t: now + dts[j], seq: seq}, now)
+			seq++
+		}
+		for q.Len() > 0 {
+			now = q.Pop().t
+		}
+	}
+}
+
+// BenchmarkKernelTimerChurn measures the full schedule/dispatch path —
+// Push, Pop and callback dispatch through the kernel loop — for batches of
+// cancellable timers, the dominant event source on the kilo-rank runs.
+func BenchmarkKernelTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		k.Spawn("driver", func(p *Proc) {
+			for round := 0; round < 64; round++ {
+				for j := 0; j < 64; j++ {
+					k.After(Time(j%8)*Microsecond, func() {})
+				}
+				p.Sleep(Millisecond)
+			}
+		})
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

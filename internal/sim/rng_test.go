@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleMean draws n samples of dist and returns their mean.
+func sampleMean(dist Dist, seed int64, n int) float64 {
+	r := rand.New(rand.NewSource(seed))
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += dist.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestConstantAlwaysYieldsValue(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if got := Constant(2.5).Sample(r); got != 2.5 {
+			t.Fatalf("Constant(2.5).Sample = %v", got)
+		}
+	}
+}
+
+func TestUniformStaysInRange(t *testing.T) {
+	u := Uniform{Lo: 3, Hi: 7}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		v := u.Sample(r)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform{3,7}.Sample = %v out of [3,7)", v)
+		}
+	}
+	if m := sampleMean(u, 2, 10000); math.Abs(m-5) > 0.1 {
+		t.Fatalf("Uniform{3,7} mean = %v, want ~5", m)
+	}
+}
+
+func TestUnitLogNormalHasUnitMean(t *testing.T) {
+	for _, sigma := range []float64{0.1, 0.25, 0.5} {
+		d := UnitLogNormal(sigma)
+		if m := sampleMean(d, 3, 200000); math.Abs(m-1) > 0.02 {
+			t.Fatalf("UnitLogNormal(%v) mean = %v, want ~1", sigma, m)
+		}
+		r := rand.New(rand.NewSource(4))
+		for i := 0; i < 1000; i++ {
+			if v := d.Sample(r); v <= 0 {
+				t.Fatalf("UnitLogNormal(%v).Sample = %v, want > 0", sigma, v)
+			}
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{Mean: 4}
+	if m := sampleMean(d, 5, 200000); math.Abs(m-4) > 0.1 {
+		t.Fatalf("Exponential{4} mean = %v, want ~4", m)
+	}
+}
+
+func TestJitter(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	if got := Jitter(r, nil, Second); got != Second {
+		t.Fatalf("Jitter(nil dist) = %v, want %v (identity)", got, Second)
+	}
+	if got := Jitter(r, Constant(2), Second); got != 2*Second {
+		t.Fatalf("Jitter(Constant(2)) = %v, want %v", got, 2*Second)
+	}
+	// Negative samples clamp to zero rather than sending time backwards.
+	if got := Jitter(r, Constant(-3), Second); got != 0 {
+		t.Fatalf("Jitter(Constant(-3)) = %v, want 0", got)
+	}
+}
+
+// TestJitterIsDeterministicPerSeed pins the property the scale digests
+// rest on: every jitter draw is a pure function of the seeded stream.
+func TestJitterIsDeterministicPerSeed(t *testing.T) {
+	draw := func() []Time {
+		r := rand.New(rand.NewSource(7))
+		d := UnitLogNormal(0.45)
+		out := make([]Time, 64)
+		for i := range out {
+			out[i] = Jitter(r, d, Millisecond)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

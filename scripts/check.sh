@@ -19,9 +19,17 @@
 # 200-iteration soak. The fuzz corpora also replay once (Fuzz* seeds as
 # regression tests; SKIP_FUZZ=1 skips).
 #
+# A kilo-rank scale smoke also gates the run: the TestScale_ suite at
+# 1024 ranks (clean, lossy and aggregator-crash collective writes checked
+# for byte conservation, determinism and the committed report digests).
+# SKIP_SCALE=1 skips it; `make scale` runs the 4096-rank soak.
+#
 # When a BENCH_*.json baseline is committed, the newest one also gates the
 # run: any scenario whose virtual completion time regresses by more than 2%
-# fails (SKIP_BENCH=1 skips this pass).
+# fails (SKIP_BENCH=1 skips this pass). A committed BENCH_SCALE_*.json
+# additionally gates the 4096-rank kernel: its report digest must
+# reproduce exactly and the measured events/sec must stay above the
+# recorded floor.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -76,10 +84,19 @@ else
     go test -run 'Fuzz.*' ./...
 fi
 
+if [ "${SKIP_SCALE:-}" = "1" ]; then
+    echo "== scale smoke skipped (SKIP_SCALE=1)"
+else
+    echo "== scale smoke (1024-rank collective writes: clean, lossy, crash)"
+    go test ./internal/harness -run '^TestScale_' -count=1 -timeout 300s
+fi
+
 if [ "${SKIP_BENCH:-}" = "1" ]; then
     echo "== bench-compare skipped (SKIP_BENCH=1)"
 else
-    base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+    # BENCH_SCALE_*.json is the kilo-rank baseline, not a matrix baseline;
+    # e10bench picks it up itself inside the same -bench-compare run.
+    base=$(ls BENCH_*.json 2>/dev/null | grep -v '^BENCH_SCALE_' | sort | tail -1 || true)
     if [ -n "$base" ]; then
         echo "== bench-compare vs $base (>2% virtual-time regression fails)"
         go run ./cmd/e10bench -bench-compare "$base"
