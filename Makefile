@@ -1,7 +1,7 @@
 # Tier-1 gate plus static, race and coverage checks; see scripts/check.sh.
 .PHONY: check check-full test build vet fmt-check cover trace-demo \
-	bench-record bench-compare scale-bench-record scale-smoke scale \
-	chaos chaos-smoke chaos-failover chaos-tenants
+	critpath-demo bench-record bench-compare scale-bench-record \
+	scale-smoke scale chaos chaos-smoke chaos-failover chaos-tenants
 
 build:
 	go build ./...
@@ -26,6 +26,11 @@ cover:
 # open the file with https://ui.perfetto.dev (byte-reproducible per seed).
 trace-demo:
 	go run ./cmd/e10bench -trace trace.json -scale 8x4 -files 2
+
+# Critical-path report plus 24-bucket run timeline for the same
+# representative cell (post-hoc analysis; byte-reproducible per seed).
+critpath-demo:
+	go run ./cmd/e10bench -critpath -timeline 24 -scale 8x4 -files 2
 
 # Deterministic chaos soak: 200 seeded workload/fault scenarios checked
 # against the end-to-end integrity oracles (byte conservation, lost acks,

@@ -38,10 +38,14 @@ func main() {
 		faults   = flag.String("faults", "", "fault schedule armed on every cell (see internal/fault)")
 		fdemo    = flag.Bool("faultdemo", false, "run the degraded-PFS-target scenario instead of the figures")
 		tracef   = flag.String("trace", "", "trace one representative cache-enabled coll_perf cell to this Chrome/Perfetto JSON file instead of the figures")
+		critf    = flag.Bool("critpath", false, "run one representative cache-enabled coll_perf cell and print its critical-path report instead of the figures")
+		timelf   = flag.Int("timeline", 0, "run the representative cell and print its timeline in this many buckets instead of the figures (combines with -critpath)")
 		mflags   = cli.RegisterMetrics(flag.CommandLine)
 		brecord  = flag.String("bench-record", "", "run the fixed regression matrix and write the baseline JSON to this file")
 		bcompare = flag.String("bench-compare", "", "run the fixed regression matrix and compare against this baseline JSON (exit 1 on >2% regression); also gates the newest BENCH_SCALE_*.json kilo-rank baseline when one is committed")
 		srecord  = flag.String("scale-bench-record", "", "run the 4096-rank kilo-scale benchmark and write the baseline JSON to this file")
+		scrit    = flag.String("scale-critpath", "", "run a kilo-rank scale variant (clean | lossy | crash) with the critical-path analyzer and print the report")
+		sranks   = flag.Int("scale-ranks", 4096, "rank count for -scale-critpath")
 	)
 	flag.Parse()
 
@@ -56,6 +60,10 @@ func main() {
 	}
 	if *srecord != "" {
 		runScaleBenchRecord(*seed, *srecord)
+		return
+	}
+	if *scrit != "" {
+		runScaleCritPath(*scrit, *sranks)
 		return
 	}
 
@@ -96,6 +104,10 @@ func main() {
 	}
 	if *tracef != "" {
 		runTraceDemo(sw, *tracef)
+		return
+	}
+	if *critf || *timelf > 0 {
+		runCritPathDemo(sw, *critf, *timelf)
 		return
 	}
 	if mflags.Enabled() {
@@ -302,6 +314,33 @@ func runTraceDemo(sw harness.Sweep, path string) {
 		path, res.Trace.Len(), res.Trace.Tracks())
 }
 
+// runCritPathDemo runs the same representative cell as runTraceDemo with
+// the critical-path analyzer (and optionally the timeline sampler) attached
+// and prints the reports. The analysis is post-hoc: the cell's virtual
+// times are identical to an unobserved run.
+func runCritPathDemo(sw harness.Sweep, critpath bool, timelineBuckets int) {
+	w := workloads.DefaultCollPerf()
+	aggs := 16
+	if n := sw.Cluster.Nodes * sw.Cluster.RanksPerNode; aggs > n {
+		aggs = n
+	}
+	spec := harness.DefaultSpec(w, harness.CacheEnabled, aggs, 16<<20)
+	spec.Cluster = sw.Cluster
+	spec.NFiles = sw.NFiles
+	spec.ComputeDelay = sw.Compute
+	spec.FaultSpec = sw.FaultSpec
+	spec.CritPath = critpath
+	spec.TimelineBuckets = timelineBuckets
+	res, err := harness.Run(spec)
+	if err != nil {
+		fatalf("critpath: %v", err)
+	}
+	fmt.Printf("analyzed %s cell=%s case=%s: %.2f GB/s, %.2f s simulated\n",
+		w.Name(), spec.Label(), spec.Case, res.BandwidthGBs, res.WallTime.Seconds())
+	fmt.Print(res.CritPathReport)
+	fmt.Print(res.TimelineReport)
+}
+
 // benchTolerancePct is the wall-time regression the compare gate accepts.
 // The simulation is deterministic, so unchanged code reproduces the
 // baseline exactly; the headroom only absorbs intentional model tweaks.
@@ -397,6 +436,34 @@ func runScaleBenchCompare() {
 	}
 	fmt.Printf("scale-bench-compare: %d ranks reproduce %s at %.0f events/sec (floor %.0f)\n",
 		cur.Ranks, path, cur.EventsPerSec, base.EventsPerSecFloor)
+}
+
+// runScaleCritPath runs one kilo-rank scale variant with the critical-path
+// analyzer attached and prints the scale report plus the full attribution
+// (category shares, stragglers, path segments, message edges, what-ifs).
+// The analysis is post-hoc: the run's digest is identical to an unanalyzed
+// run of the same variant and scale.
+func runScaleCritPath(variant string, ranks int) {
+	var v harness.ScaleVariant
+	switch variant {
+	case "clean":
+		v = harness.ScaleClean
+	case "lossy":
+		v = harness.ScaleLossy
+	case "crash":
+		v = harness.ScaleCrash
+	default:
+		fatalf("bad -scale-critpath %q (want clean, lossy or crash)", variant)
+	}
+	rep, err := harness.RunScale(harness.ScaleConfig{Variant: v, Ranks: ranks, CritPath: true})
+	if err != nil {
+		fatalf("scale-critpath: %v", err)
+	}
+	fmt.Print(rep.Text())
+	fmt.Printf("digest=%s\n", rep.Digest())
+	if rep.CritPathFull != nil {
+		fmt.Print(rep.CritPathFull.Markdown())
+	}
 }
 
 // runMetricsDemo runs the same representative cache-enabled coll_perf cell

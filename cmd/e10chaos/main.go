@@ -34,12 +34,14 @@ func main() {
 		noShrnk = flag.Bool("no-shrink", false, "report failures without shrinking them")
 		netOnly = flag.Bool("netfaults", false, "soak only degraded-mode collective scenarios (lossy links, duplication, partitions, aggregator crashes)")
 		tenants = flag.Bool("tenants", false, "soak only multi-tenant service-mode scenarios (quotas, reservations, queued admissions, tenant crashes, NVM faults)")
+		critf   = flag.Bool("critpath", false, "with -replay: also print the replayed run's critical-path report")
+		timelf  = flag.Bool("timeline", false, "with -replay: also print the replayed run's timeline")
 		verbose = flag.Bool("v", false, "print one line per scenario")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		runReplay(*replay)
+		runReplay(*replay, *critf, *timelf)
 		return
 	}
 
@@ -120,8 +122,10 @@ func main() {
 }
 
 // runReplay re-executes a committed reproducer and verifies the recorded
-// verdict still holds.
-func runReplay(path string) {
+// verdict still holds. With critpath/timeline the replayed run's
+// critical-path report and timeline are printed too — the replay is the
+// cheapest way to get an attributed view of a failing schedule.
+func runReplay(path string, critpath, timeline bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -144,6 +148,20 @@ func runReplay(path string) {
 	fmt.Printf("  replayed verdict: %v\n", res.ViolatedInvariants())
 	for _, v := range res.Violations {
 		fmt.Printf("    %s\n", v)
+	}
+	if critpath {
+		if res.CritPath != nil {
+			fmt.Print(res.CritPath.Markdown())
+		} else {
+			fmt.Println("  (no critical-path report: the run did not terminate cleanly)")
+		}
+	}
+	if timeline {
+		if res.Timeline != nil {
+			fmt.Print(res.Timeline.Markdown())
+		} else {
+			fmt.Println("  (no timeline: the run did not terminate cleanly)")
+		}
 	}
 	if !match {
 		fatalf("%s: verdict did NOT reproduce", path)

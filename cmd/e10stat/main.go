@@ -1,15 +1,20 @@
 // Command e10stat analyses experiment results into paper-figure-style
 // reports: the per-phase cost breakdown (Figures 5/6/8/10), the cache
 // speedup comparison (Figures 4/7/9) and the flush-overlap accounting of
-// Equation 1. Inputs are the JSON files written by the workload binaries'
-// -metrics-out flag (or Chrome trace files from -trace); results from
-// multiple runs can be combined in one report.
+// Equation 1. It accepts every artifact the repo's tools write: the JSON
+// files from the workload binaries' -metrics-out flag, Chrome traces from
+// -trace, bench baselines (BENCH_<date>.json), kilo-rank scale baselines
+// (BENCH_SCALE_<date>.json), scale reports and digest goldens, and the
+// critical-path / timeline reports from -critpath and -timeline; results
+// from multiple files can be combined in one report.
 //
 //	collperf -case disabled -metrics-out dis.json
 //	collperf -case enabled  -metrics-out en.json
 //	e10stat dis.json en.json
 //	e10stat -format csv -out report.csv en.json
-//	e10stat -run                   # built-in small demo pair
+//	e10stat BENCH_SCALE_2026-08-08.json    # summarize a scale baseline
+//	e10stat -lint trace.json               # label/name cardinality lint
+//	e10stat -run                           # built-in small demo pair
 package main
 
 import (
@@ -29,28 +34,35 @@ func main() {
 	format := fs.String("format", "md", "report format: md | csv | json")
 	out := fs.String("out", "", "write the report to this file instead of stdout")
 	demo := fs.Bool("run", false, "run a small built-in disabled/enabled coll_perf pair and report on it")
+	lint := fs.Bool("lint", false, "lint inputs for unbounded metric-label / trace-name cardinality instead of reporting (exit 1 on problems)")
+	lintMax := fs.Int("lint-max", estat.DefaultLintMax, "distinct-value budget per label key / trace category for -lint")
 	_ = fs.Parse(os.Args[1:])
 
-	var ins []estat.Input
+	if *lint {
+		runLint(fs.Args(), *demo, *lintMax)
+		return
+	}
+
+	var arts []*estat.Artifact
 	if *demo {
-		ins = append(ins, runDemo()...)
+		arts = append(arts, &estat.Artifact{Kind: estat.KindStat, Inputs: runDemo()})
 	}
 	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			cli.Fatalf("e10stat", "%v", err)
 		}
-		parsed, err := estat.Parse(data)
+		art, err := estat.ParseAny(data)
 		if err != nil {
 			cli.Fatalf("e10stat", "%s: %v", path, err)
 		}
-		ins = append(ins, parsed...)
+		arts = append(arts, art)
 	}
-	if len(ins) == 0 {
-		cli.Fatalf("e10stat", "no inputs: pass JSON files (from -metrics-out or -trace) or use -run")
+	if len(arts) == 0 {
+		cli.Fatalf("e10stat", "no inputs: pass JSON artifacts (metrics, traces, bench/scale baselines, critpath reports) or use -run")
 	}
 
-	text, err := estat.Render(ins, *format)
+	text, err := estat.RenderAny(arts, *format)
 	if err != nil {
 		cli.Fatalf("e10stat", "%v", err)
 	}
@@ -62,6 +74,36 @@ func main() {
 		cli.Fatalf("e10stat", "%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "e10stat: wrote %s\n", *out)
+}
+
+// runLint runs the cardinality lint over every given file (and the demo
+// pair's metrics with -run), printing problems and exiting non-zero when
+// any are found.
+func runLint(paths []string, demo bool, max int) {
+	if !demo && len(paths) == 0 {
+		cli.Fatalf("e10stat", "-lint needs input files (or -run for the demo pair)")
+	}
+	failed := false
+	report := func(name string, problems []string) {
+		for _, p := range problems {
+			failed = true
+			fmt.Fprintf(os.Stderr, "e10stat: lint: %s: %s\n", name, p)
+		}
+	}
+	if demo {
+		report("demo", estat.LintInputs(runDemo(), max))
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			cli.Fatalf("e10stat", "%v", err)
+		}
+		report(path, estat.LintData(data, max))
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("e10stat: lint clean")
 }
 
 // runDemo produces a small deterministic disabled/enabled pair so the

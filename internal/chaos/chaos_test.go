@@ -215,6 +215,7 @@ func TestInjectionsTripTheirInvariant(t *testing.T) {
 		"miscount-retry":        base(),
 		"stuck-collective":      collective(),
 		"cross-tenant-scribble": tenanted(),
+		"overrun-span":          base(),
 	}
 	if len(cases) != len(injections) {
 		t.Fatalf("test covers %d injections, registry has %d", len(cases), len(injections))

@@ -154,6 +154,16 @@ func fixtures() []struct {
 			},
 		},
 		{
+			file: "critpath_overrun.json",
+			note: "a span outliving the run is appended to the trace: the critical path attributes more time than the kernel's wall clock and critpath_consistency must notice",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeContiguous, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 1,
+				Injection: "overrun-span",
+			},
+		},
+		{
 			file: "aggregator_crash.json",
 			note: "clean: an aggregator node crashes mid-round during a resilient collective write; survivors recompute file domains and replay unacked rounds, no invariant trips",
 			sc: Scenario{

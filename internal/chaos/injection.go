@@ -6,6 +6,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/pfs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Injections deliberately sabotage a run so the oracle that should catch
@@ -46,6 +47,10 @@ var injections = map[string]struct {
 	// Skew rank 0's collective accounting, as if it entered a collective
 	// and never came back — the no_stuck_collective oracle must notice.
 	"stuck-collective": {phasePostRun, InvStuckCollective},
+	// Append a span that outlives the run: the critical path now attributes
+	// more time than the kernel's wall clock, so the attribution-sums-to-
+	// wall-time contract of critpath_consistency must trip.
+	"overrun-span": {phasePostRun, InvCritPath},
 	// Leak one tenant's pattern into another tenant's file: the victim's
 	// digest no longer matches its solo same-seed run, which is exactly
 	// what the tenant_isolation oracle exists to catch.
@@ -126,6 +131,10 @@ func applyInjection(r *run, phase injPhase, mr ...*mpi.Rank) {
 		r.mreg.Counter("cache_sync_retries_total", metrics.L(metrics.KeyLayer, "core")).Inc()
 	case "stuck-collective":
 		r.cl.World.SkewCollAccounting(0)
+	case "overrun-span":
+		now := int64(r.cl.Kernel.Now())
+		tk := r.tracer.Track(trace.GroupKernel, "chaos.overrun")
+		r.tracer.SpanAt(tk, "chaos", "overrun", now, now+int64(sim.Millisecond))
 	case "cross-tenant-scribble":
 		// Write 64 bytes of tenant 0's pattern just past the last tenant's
 		// own data — a foreign byte inside the victim's namespace that no

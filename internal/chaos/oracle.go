@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/critpath"
 	"repro/internal/extent"
 	"repro/internal/metrics"
 	"repro/internal/store"
@@ -46,6 +47,7 @@ func (r *run) check() *Result {
 	r.checkIdempotence(add)
 	r.checkLockRelease(add)
 	r.checkTraceMetrics(add)
+	r.checkCritPath(res, add)
 	r.checkStuckCollective(add)
 	if r.solo < 0 {
 		// Solo baseline runs exist only to be digested by this very oracle;
@@ -199,6 +201,59 @@ func (r *run) checkLockRelease(add func(inv, format string, args ...interface{})
 	for _, path := range r.files() {
 		if held := r.cl.FS.Locks.HeldLocks(path); held != 0 {
 			add(InvLockRelease, "%d byte-range lock(s) on %s still held after the run", held, path)
+		}
+	}
+}
+
+// checkCritPath runs the critical-path analyzer over the run's trace and
+// enforces its self-consistency contract: attributed time sums exactly to
+// the virtual wall time (an event outliving the run means the trace and
+// the kernel disagree about when the run ended), the per-category shares
+// partition the attributed total, and every message edge the path followed
+// is backed by a matching async begin/end pair in the trace.
+func (r *run) checkCritPath(res *Result, add func(inv, format string, args ...interface{})) {
+	wall := int64(r.cl.Kernel.Now())
+	rep := critpath.Analyze(r.tracer, wall)
+	res.CritPath = rep
+	res.Timeline = critpath.BuildTimeline(r.tracer, wall, critpath.DefaultTimelineBuckets)
+	if rep.AttributedNs != wall {
+		add(InvCritPath, "attributed path time %d ns != virtual wall time %d ns", rep.AttributedNs, wall)
+	}
+	var sum int64
+	for _, sh := range rep.Shares {
+		sum += sh.Ns
+	}
+	if sum != rep.AttributedNs {
+		add(InvCritPath, "category shares sum to %d ns, want attributed total %d ns", sum, rep.AttributedNs)
+	}
+	type pairEv struct {
+		beginTk, endTk trace.TrackID
+		beginTs, endTs int64
+		haveB, haveE   bool
+	}
+	pairs := map[uint64]*pairEv{}
+	for _, ev := range r.tracer.Events() {
+		switch ev.Kind {
+		case trace.KindAsyncBegin, trace.KindAsyncEnd:
+			p := pairs[ev.ID]
+			if p == nil {
+				p = &pairEv{}
+				pairs[ev.ID] = p
+			}
+			if ev.Kind == trace.KindAsyncBegin {
+				p.beginTk, p.beginTs, p.haveB = ev.Track, ev.Start, true
+			} else {
+				p.endTk, p.endTs, p.haveE = ev.Track, ev.Start, true
+			}
+		}
+	}
+	for _, e := range rep.Edges {
+		p := pairs[e.ID]
+		if p == nil || !p.haveB || !p.haveE ||
+			p.beginTs != e.SendNs || p.endTs != e.RecvNs ||
+			r.tracer.TrackName(p.beginTk) != e.From || r.tracer.TrackName(p.endTk) != e.To {
+			add(InvCritPath, "path edge id=%d %s@%d -> %s@%d has no matching async pair in the trace",
+				e.ID, e.From, e.SendNs, e.To, e.RecvNs)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adio"
 	"repro/internal/core"
+	"repro/internal/critpath"
 	"repro/internal/extent"
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -43,13 +44,20 @@ const (
 	// with its file byte-identical to a solo same-seed run of just that
 	// tenant, and that capacity pressure alone never fails its job.
 	InvTenantIsolation = "tenant_isolation"
+	// InvCritPath demands the critical-path analysis be self-consistent
+	// with the run it describes: the attributed path time sums exactly to
+	// the virtual wall time (no trace event may outlive the run), the
+	// category shares sum to the attributed total, and every message edge
+	// on the path is backed by a matching async begin/end pair in the
+	// trace.
+	InvCritPath = "critpath_consistency"
 )
 
 // Invariants lists every checked invariant, in report order.
 var Invariants = []string{
 	InvConservation, InvLostAck, InvIdempotence,
 	InvLockRelease, InvLiveness, InvTraceMetrics, InvStuckCollective,
-	InvTenantIsolation,
+	InvTenantIsolation, InvCritPath,
 }
 
 // Result is one executed scenario's verdict.
@@ -60,6 +68,13 @@ type Result struct {
 	Events     int64       `json:"events"`
 	AckedOps   int         `json:"acked_ops"`
 	Fallbacks  int         `json:"fallbacks"`
+
+	// CritPath is the analysis the critpath_consistency oracle ran (and
+	// Timeline the matching run timeline, built on demand by e10chaos).
+	// Both are excluded from the JSON so repro fixtures and soak report
+	// digests stay byte-identical.
+	CritPath *critpath.Report   `json:"-"`
+	Timeline *critpath.Timeline `json:"-"`
 }
 
 // Failed reports whether any invariant was violated.

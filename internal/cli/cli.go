@@ -29,6 +29,8 @@ type Flags struct {
 	LastNHS   *bool
 	Trace     *string
 	TraceSum  *bool
+	CritPath  *bool
+	Timeline  *int
 	Stats     *bool
 	Faults    *string
 	Reliable  *bool
@@ -95,7 +97,11 @@ func Register(fs *flag.FlagSet, includeLastSync bool) *Flags {
 		LastNHS:  fs.Bool("last-sync", includeLastSync, "account the last write's non-hidden sync (IOR style)"),
 		Trace:    fs.String("trace", "", "write a Chrome/Perfetto trace (spans, counters, instants from every layer) to this file"),
 		TraceSum: fs.Bool("trace-summary", false, "print the trace digest (top spans, counter high-water marks); implies event tracing"),
-		Stats:    fs.Bool("stats", false, "print the cluster resource report after the run"),
+		CritPath: fs.Bool("critpath", false,
+			"print the critical-path report (per-category attribution of the blocking chain bounding wall time, straggler ranking, what-if estimates); implies event tracing, never perturbs virtual time"),
+		Timeline: fs.Int("timeline", 0,
+			"print the run timeline sampled into this many buckets (counters, in-flight collectives/messages, tenant events); implies event tracing"),
+		Stats: fs.Bool("stats", false, "print the cluster resource report after the run"),
 		Faults: fs.String("faults", "", "fault schedule, e.g. "+
 			"'degrade-target,target=1,factor=0.2,from=2s,to=8s;fail-device,node=0,at=5s'"),
 		Reliable: fs.Bool("reliable", false,
@@ -128,6 +134,8 @@ func (f *Flags) Spec(w workloads.Workload) (harness.Spec, error) {
 	spec.IncludeLastSync = *f.LastNHS
 	spec.TracePath = *f.Trace
 	spec.TraceEvents = *f.TraceSum
+	spec.CritPath = *f.CritPath
+	spec.TimelineBuckets = *f.Timeline
 	spec.FaultSpec = *f.Faults
 	spec.Reliable = *f.Reliable || *f.Resilient
 	spec.Resilient = *f.Resilient
@@ -145,6 +153,12 @@ func (f *Flags) ReportTrace(out io.Writer, res *harness.Result) {
 	if *f.TraceSum {
 		fmt.Fprint(out, res.TraceSummary)
 	}
+	if res.CritPathReport != "" {
+		fmt.Fprint(out, res.CritPathReport)
+	}
+	if res.TimelineReport != "" {
+		fmt.Fprint(out, res.TimelineReport)
+	}
 }
 
 // Report prints a Result in the style of the paper's per-cell numbers.
@@ -157,6 +171,10 @@ func Report(out io.Writer, res *harness.Result) {
 	fmt.Fprintf(out, "  perceived bandwidth: %.2f GB/s (Equation 2)\n", res.BandwidthGBs)
 	fmt.Fprintf(out, "  simulated wall time: %.2f s\n", res.WallTime.Seconds())
 	fmt.Fprintf(out, "  peak coll buffer   : %.1f MB\n", float64(res.PeakBufBytes)/(1<<20))
+	fmt.Fprintf(out, "  events dispatched  : %d\n", res.EventsDispatched)
+	if res.FailoverEpochs > 0 {
+		fmt.Fprintf(out, "  failover epochs    : %d\n", res.FailoverEpochs)
+	}
 	for k, ph := range res.Phases {
 		fmt.Fprintf(out, "  phase %d: T_c=%.3fs  close_wait=%.3fs\n", k, ph.WriteTime.Seconds(), ph.CloseWait.Seconds())
 	}

@@ -1,0 +1,31 @@
+package critpath
+
+import "testing"
+
+// BenchmarkCritPath measures the analyzer on a 4096-rank synthetic trace
+// (the same generator the scale-bench gate times), so analysis cost at the
+// kilo-rank tier stays visible and bounded.
+func BenchmarkCritPath(b *testing.B) {
+	tr := SyntheticTrace(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := Analyze(tr, 0)
+		if rep.AttributedNs == 0 {
+			b.Fatal("attributed nothing")
+		}
+	}
+}
+
+// BenchmarkTimeline measures the timeline builder on the same trace.
+func BenchmarkTimeline(b *testing.B) {
+	tr := SyntheticTrace(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl := BuildTimeline(tr, 3_400_000_000, 24)
+		if len(tl.Series) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}

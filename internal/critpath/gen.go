@@ -1,0 +1,63 @@
+package critpath
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// SyntheticTrace builds a deterministic kilo-rank trace shaped like a real
+// two-file collective write (open, offset exchange, shuffle with p2p pairs
+// and blocked waits, pack, cache/PFS write, deferred sync), without running
+// the simulator. It backs BenchmarkCritPath and the scale-bench analyzer
+// throughput gate, so analysis cost is measured on a trace whose size and
+// structure track the 4096-rank scale runs.
+func SyntheticTrace(ranks int) *trace.Tracer {
+	const (
+		ms = int64(1_000_000)
+		us = int64(1_000)
+	)
+	tr := trace.New()
+	tks := make([]trace.TrackID, ranks)
+	for r := 0; r < ranks; r++ {
+		tks[r] = tr.Track(trace.GroupRanks, fmt.Sprintf("rank %d", r))
+	}
+	for r := 0; r < ranks; r++ {
+		tk := tks[r]
+		tr.SpanAt(tk, "phase", "open", 0, 2*ms)
+		for k := 0; k < 2; k++ {
+			ps := 2*ms + int64(k)*600*ms
+			tr.SpanAt(tk, "phase", "calc_offsets", ps, ps+2*ms)
+			// Shuffle: every rank sends one message to its right neighbour and
+			// blocks until the left neighbour's message lands.
+			send := ps + 3*ms + int64(r%7)*100*us
+			deliver := ps + 20*ms + int64(r%5)*100*us
+			id := tr.AsyncBegin(tk, "mpi", "p2p", send,
+				trace.I("dst", int64((r+1)%ranks)), trace.I("bytes", 64<<10))
+			tr.AsyncEnd(tks[(r+1)%ranks], "mpi", "p2p", id, deliver)
+			left := (r - 1 + ranks) % ranks
+			arrives := ps + 20*ms + int64(left%5)*100*us
+			tr.SpanAt(tk, "sim", "blocked", ps+5*ms, arrives)
+			tr.SpanAt(tk, "phase", "shuffle_all2all", ps+2*ms, ps+40*ms)
+			if r%97 == 3 {
+				// A dropped message: the async pair ends on the sender track.
+				did := tr.AsyncBegin(tk, "mpi", "p2p", ps+4*ms,
+					trace.I("dst", int64((r+2)%ranks)), trace.I("bytes", 64<<10))
+				tr.AsyncEnd(tk, "mpi", "p2p", did, ps+6*ms)
+			}
+			tr.SpanAt(tk, "sim", "blocked", ps+41*ms, ps+44*ms)
+			tr.SpanAt(tk, "phase", "exchange_waitall", ps+40*ms, ps+45*ms)
+			tr.SpanAt(tk, "phase", "pack", ps+45*ms, ps+47*ms)
+			if r%2 == 0 {
+				tr.Instant(tk, "cache", "cache_write", ps+50*ms, trace.I("bytes", 1<<20))
+			}
+			tr.Counter(tk, "queue", ps+50*ms, int64(r%3))
+			tr.Counter(tk, "queue", ps+70*ms, 0)
+			tr.SpanAt(tk, "phase", "write", ps+47*ms, ps+75*ms)
+		}
+		syncEnd := 1250*ms + 30*ms + int64(r%11)*ms
+		tr.SpanAt(tk, "sim", "blocked", 1252*ms, syncEnd)
+		tr.SpanAt(tk, "phase", "not_hidden_sync", 1250*ms, syncEnd)
+	}
+	return tr
+}

@@ -1,0 +1,286 @@
+package estat
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/critpath"
+)
+
+// Artifact kinds, one per recognised file format.
+const (
+	KindStat       = "stat"       // e10stat/v1 inputs, arrays, Chrome traces
+	KindBench      = "bench"      // e10bench/v1 (BENCH_<date>.json)
+	KindScaleBench = "scalebench" // e10scalebench/v1 (BENCH_SCALE_<date>.json)
+	KindScale      = "scale"      // e10scale/v1 (scale reports and digest goldens)
+	KindCritPath   = "critpath"   // e10critpath/v1 critical-path reports
+	KindTimeline   = "timeline"   // e10timeline/v1 run timelines
+)
+
+// Schema identifiers of the non-stat artifacts. estat mirrors the harness
+// shapes instead of importing them: the harness imports estat, so estat
+// cannot import the harness back.
+const (
+	benchSchema      = "e10bench/v1"
+	scaleBenchSchema = "e10scalebench/v1"
+	scaleSchema      = "e10scale/v1"
+)
+
+// BenchFileScenario is one cell of a committed bench-matrix baseline.
+type BenchFileScenario struct {
+	Name            string  `json:"name"`
+	WallTimeNs      int64   `json:"wall_time_ns"`
+	BandwidthGBs    float64 `json:"bandwidth_gbs"`
+	NotHiddenSyncNs int64   `json:"not_hidden_sync_ns"`
+	SyncedBytes     int64   `json:"synced_bytes"`
+}
+
+// BenchFile mirrors a BENCH_<date>.json bench-matrix baseline.
+type BenchFile struct {
+	Schema    string              `json:"schema"`
+	Seed      int64               `json:"seed"`
+	Scenarios []BenchFileScenario `json:"scenarios"`
+}
+
+// ScaleBenchFile mirrors a BENCH_SCALE_<date>.json kilo-rank baseline.
+type ScaleBenchFile struct {
+	Schema               string  `json:"schema"`
+	Variant              string  `json:"variant"`
+	Ranks                int     `json:"ranks"`
+	Seed                 int64   `json:"seed"`
+	Digest               string  `json:"digest"`
+	WallTimeNs           int64   `json:"wall_time_ns"`
+	Events               int64   `json:"events"`
+	EventsPerSec         float64 `json:"events_per_sec"`
+	EventsPerSecFloor    float64 `json:"events_per_sec_floor"`
+	CritPathEventsPerSec float64 `json:"critpath_events_per_sec,omitempty"`
+	CritPathFloor        float64 `json:"critpath_floor,omitempty"`
+}
+
+// ScaleFileReport mirrors the deterministic fields of a scale report.
+type ScaleFileReport struct {
+	Schema         string           `json:"schema"`
+	Variant        string           `json:"variant"`
+	Ranks          int              `json:"ranks"`
+	Nodes          int              `json:"nodes"`
+	PerNode        int              `json:"per_node"`
+	Seed           int64            `json:"seed"`
+	DropPct        int              `json:"drop_pct"`
+	WallTimeNs     int64            `json:"wall_time_ns"`
+	Events         int64            `json:"events"`
+	ExpectedBytes  int64            `json:"expected_bytes"`
+	PFSBytes       int64            `json:"pfs_bytes"`
+	Retransmits    int64            `json:"retransmits"`
+	NetDrops       int64            `json:"net_drops"`
+	FailoverEpochs int64            `json:"failover_epochs"`
+	CritPath       []critpath.Share `json:"critpath,omitempty"`
+}
+
+// ScaleFile is either a bare scale report or a committed digest golden
+// ({"report": {...}, "digest": "..."}); Digest is empty for the bare shape.
+type ScaleFile struct {
+	Report ScaleFileReport `json:"report"`
+	Digest string          `json:"digest,omitempty"`
+}
+
+// Artifact is one parsed file of any recognised format. Exactly one of the
+// payload fields is populated, selected by Kind.
+type Artifact struct {
+	Kind       string             `json:"kind"`
+	Inputs     []Input            `json:"inputs,omitempty"`
+	Bench      *BenchFile         `json:"bench,omitempty"`
+	ScaleBench *ScaleBenchFile    `json:"scalebench,omitempty"`
+	Scale      *ScaleFile         `json:"scale,omitempty"`
+	CritPath   *critpath.Report   `json:"critpath,omitempty"`
+	Timeline   *critpath.Timeline `json:"timeline,omitempty"`
+}
+
+// ParseAny decodes any artifact the repo's tools write: e10stat inputs
+// (single, array or Chrome trace — everything Parse accepts), bench and
+// scale-bench baselines, scale reports and digest goldens, critical-path
+// reports and run timelines. The schema field (or container shape) selects
+// the decoder; malformed content returns an error, never a panic.
+func ParseAny(data []byte) (*Artifact, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		// Not an object: only the stat-input array shape remains.
+		ins, err := Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		return &Artifact{Kind: KindStat, Inputs: ins}, nil
+	}
+	var schema string
+	if raw, ok := probe["schema"]; ok {
+		_ = json.Unmarshal(raw, &schema)
+	}
+	switch schema {
+	case benchSchema:
+		var f BenchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("estat: bench artifact: %w", err)
+		}
+		return &Artifact{Kind: KindBench, Bench: &f}, nil
+	case scaleBenchSchema:
+		var f ScaleBenchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("estat: scale-bench artifact: %w", err)
+		}
+		return &Artifact{Kind: KindScaleBench, ScaleBench: &f}, nil
+	case scaleSchema:
+		var r ScaleFileReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("estat: scale artifact: %w", err)
+		}
+		return &Artifact{Kind: KindScale, Scale: &ScaleFile{Report: r}}, nil
+	case critpath.ReportSchema:
+		rep, err := critpath.ParseReport(data)
+		if err != nil {
+			return nil, fmt.Errorf("estat: %w", err)
+		}
+		return &Artifact{Kind: KindCritPath, CritPath: rep}, nil
+	case critpath.TimelineSchema:
+		tl, err := critpath.ParseTimeline(data)
+		if err != nil {
+			return nil, fmt.Errorf("estat: %w", err)
+		}
+		return &Artifact{Kind: KindTimeline, Timeline: tl}, nil
+	}
+	// Scale digest golden: {"report": {...}, "digest": "..."} with the
+	// schema nested inside the report.
+	if _, ok := probe["report"]; ok {
+		var f ScaleFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("estat: scale digest artifact: %w", err)
+		}
+		if f.Report.Schema == scaleSchema {
+			return &Artifact{Kind: KindScale, Scale: &f}, nil
+		}
+	}
+	// Everything else — bare stat inputs and Chrome traces — is Parse's job.
+	ins, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{Kind: KindStat, Inputs: ins}, nil
+}
+
+// RenderAny renders a mixed artifact set. Stat inputs from every artifact
+// are combined into the standard report; each non-stat artifact appends its
+// own section. Formats mirror Render: md, csv, or json.
+func RenderAny(arts []*Artifact, format string) (string, error) {
+	var ins []Input
+	for _, a := range arts {
+		ins = append(ins, a.Inputs...)
+	}
+	if format == FormatJSON {
+		b, err := json.MarshalIndent(arts, "", "  ")
+		if err != nil {
+			return "", fmt.Errorf("estat: %w", err)
+		}
+		return string(b) + "\n", nil
+	}
+	var sb strings.Builder
+	if len(ins) > 0 {
+		text, err := Render(ins, format)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(text)
+	}
+	for _, a := range arts {
+		switch a.Kind {
+		case KindBench:
+			renderBenchFile(&sb, a.Bench, format)
+		case KindScaleBench:
+			renderScaleBenchFile(&sb, a.ScaleBench, format)
+		case KindScale:
+			renderScaleFile(&sb, a.Scale, format)
+		case KindCritPath:
+			if format == FormatCSV {
+				sb.WriteString(a.CritPath.CSV())
+			} else {
+				sb.WriteString(a.CritPath.Markdown())
+			}
+		case KindTimeline:
+			if format == FormatCSV {
+				sb.WriteString(a.Timeline.CSV())
+			} else {
+				sb.WriteString(a.Timeline.Markdown())
+			}
+		}
+	}
+	if sb.Len() == 0 {
+		return "", fmt.Errorf("estat: no renderable artifacts")
+	}
+	return sb.String(), nil
+}
+
+func renderBenchFile(sb *strings.Builder, f *BenchFile, format string) {
+	if format == FormatCSV {
+		for _, s := range f.Scenarios {
+			fmt.Fprintf(sb, "bench,%s,wall_time_ns,%d\n", s.Name, s.WallTimeNs)
+			fmt.Fprintf(sb, "bench,%s,bandwidth_gbs,%.3f\n", s.Name, s.BandwidthGBs)
+		}
+		return
+	}
+	fmt.Fprintf(sb, "\n## bench matrix (%s, seed %d)\n\n", f.Schema, f.Seed)
+	sb.WriteString("| scenario | wall (ms) | BW (GB/s) | not hidden (ms) |\n")
+	sb.WriteString("|---|---:|---:|---:|\n")
+	for _, s := range f.Scenarios {
+		fmt.Fprintf(sb, "| %s | %s | %.2f | %s |\n",
+			s.Name, ms(s.WallTimeNs), s.BandwidthGBs, ms(s.NotHiddenSyncNs))
+	}
+}
+
+func renderScaleBenchFile(sb *strings.Builder, f *ScaleBenchFile, format string) {
+	if format == FormatCSV {
+		fmt.Fprintf(sb, "scalebench,%s/%d,wall_time_ns,%d\n", f.Variant, f.Ranks, f.WallTimeNs)
+		fmt.Fprintf(sb, "scalebench,%s/%d,events,%d\n", f.Variant, f.Ranks, f.Events)
+		fmt.Fprintf(sb, "scalebench,%s/%d,events_per_sec_floor,%.0f\n", f.Variant, f.Ranks, f.EventsPerSecFloor)
+		if f.CritPathFloor > 0 {
+			fmt.Fprintf(sb, "scalebench,%s/%d,critpath_floor,%.0f\n", f.Variant, f.Ranks, f.CritPathFloor)
+		}
+		return
+	}
+	fmt.Fprintf(sb, "\n## scale bench (%s)\n\n", f.Schema)
+	fmt.Fprintf(sb, "- variant %s, %d ranks, seed %d\n", f.Variant, f.Ranks, f.Seed)
+	fmt.Fprintf(sb, "- wall %s ms virtual, %d events, digest %s\n", ms(f.WallTimeNs), f.Events, f.Digest)
+	fmt.Fprintf(sb, "- throughput floor %.0f events/sec (measured %.0f)\n", f.EventsPerSecFloor, f.EventsPerSec)
+	if f.CritPathFloor > 0 {
+		fmt.Fprintf(sb, "- critpath analyzer floor %.0f events/sec (measured %.0f)\n",
+			f.CritPathFloor, f.CritPathEventsPerSec)
+	}
+}
+
+func renderScaleFile(sb *strings.Builder, f *ScaleFile, format string) {
+	r := f.Report
+	name := fmt.Sprintf("%s/%d", r.Variant, r.Ranks)
+	if format == FormatCSV {
+		fmt.Fprintf(sb, "scale,%s,wall_time_ns,%d\n", name, r.WallTimeNs)
+		fmt.Fprintf(sb, "scale,%s,events,%d\n", name, r.Events)
+		fmt.Fprintf(sb, "scale,%s,pfs_bytes,%d\n", name, r.PFSBytes)
+		fmt.Fprintf(sb, "scale,%s,retransmits,%d\n", name, r.Retransmits)
+		fmt.Fprintf(sb, "scale,%s,failover_epochs,%d\n", name, r.FailoverEpochs)
+		for _, sh := range r.CritPath {
+			fmt.Fprintf(sb, "scale_critpath,%s,%s,%d\n", name, sh.Category, sh.Ns)
+		}
+		return
+	}
+	fmt.Fprintf(sb, "\n## scale run (%s, %s)\n\n", r.Schema, name)
+	fmt.Fprintf(sb, "- %d ranks on %d nodes, seed %d, drop %d%%\n", r.Ranks, r.Nodes, r.Seed, r.DropPct)
+	fmt.Fprintf(sb, "- wall %s ms, %d events, PFS %d of %d expected bytes\n",
+		ms(r.WallTimeNs), r.Events, r.PFSBytes, r.ExpectedBytes)
+	fmt.Fprintf(sb, "- retransmits %d, net drops %d, failover epochs %d\n",
+		r.Retransmits, r.NetDrops, r.FailoverEpochs)
+	if f.Digest != "" {
+		fmt.Fprintf(sb, "- digest %s\n", f.Digest)
+	}
+	if len(r.CritPath) > 0 {
+		sb.WriteString("\n| critical path category | time (ms) | share |\n|---|---:|---:|\n")
+		for _, sh := range r.CritPath {
+			fmt.Fprintf(sb, "| %s | %s | %s |\n", sh.Category, ms(sh.Ns), pctOf(sh.Ns, r.WallTimeNs))
+		}
+	}
+}

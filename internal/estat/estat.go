@@ -38,19 +38,24 @@ type BreakdownEntry struct {
 
 // Input is one experiment cell's outcome.
 type Input struct {
-	Schema       string            `json:"schema"`
-	Workload     string            `json:"workload"`
-	Case         string            `json:"case"`
-	Cell         string            `json:"cell"` // "<aggregators>_<cb_mb>mb"
-	Ranks        int               `json:"ranks"`
-	Files        int               `json:"files"`
-	WallTimeNs   int64             `json:"wall_time_ns"`
-	ComputeNs    int64             `json:"compute_ns"`
-	TotalBytes   int64             `json:"total_bytes"`
-	BandwidthGBs float64           `json:"bandwidth_gbs"`
-	Phases       []PhaseTime       `json:"phases,omitempty"`
-	Breakdown    []BreakdownEntry  `json:"breakdown,omitempty"`
-	Metrics      *metrics.Snapshot `json:"metrics,omitempty"`
+	Schema       string  `json:"schema"`
+	Workload     string  `json:"workload"`
+	Case         string  `json:"case"`
+	Cell         string  `json:"cell"` // "<aggregators>_<cb_mb>mb"
+	Ranks        int     `json:"ranks"`
+	Files        int     `json:"files"`
+	WallTimeNs   int64   `json:"wall_time_ns"`
+	ComputeNs    int64   `json:"compute_ns"`
+	TotalBytes   int64   `json:"total_bytes"`
+	BandwidthGBs float64 `json:"bandwidth_gbs"`
+	// EventsDispatched is the kernel's total event count — the cost of the
+	// run in simulator work, independent of virtual time. FailoverEpochs
+	// counts aggregator-failover recoveries; non-zero only in crash runs.
+	EventsDispatched int64             `json:"events_dispatched,omitempty"`
+	FailoverEpochs   int64             `json:"failover_epochs,omitempty"`
+	Phases           []PhaseTime       `json:"phases,omitempty"`
+	Breakdown        []BreakdownEntry  `json:"breakdown,omitempty"`
+	Metrics          *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // Name renders the input's identity for report headings.

@@ -1,0 +1,122 @@
+package estat
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// DefaultLintMax is the per-key distinct-value budget the cardinality lint
+// enforces. Metric labels and trace-event names are meant to be small fixed
+// vocabularies — the per-rank / per-extent dimension belongs in trace
+// tracks, not in label values — so a key that accumulates more distinct
+// values than this has almost certainly swallowed an unbounded identifier
+// (a raw rank id, an offset, a pointer).
+const DefaultLintMax = 64
+
+// LintInputs checks metric-label cardinality over parsed stat inputs: for
+// every metric family, the number of distinct values per label key must not
+// exceed max (<=0 means DefaultLintMax). Returned problems are sorted and
+// deterministic; nil means clean.
+func LintInputs(ins []Input, max int) []string {
+	if max <= 0 {
+		max = DefaultLintMax
+	}
+	// family -> label key -> distinct values
+	card := map[string]map[string]map[string]bool{}
+	note := func(family string, labels map[string]string) {
+		for k, v := range labels {
+			byKey, ok := card[family]
+			if !ok {
+				byKey = map[string]map[string]bool{}
+				card[family] = byKey
+			}
+			vals, ok := byKey[k]
+			if !ok {
+				vals = map[string]bool{}
+				byKey[k] = vals
+			}
+			vals[v] = true
+		}
+	}
+	for _, in := range ins {
+		if in.Metrics == nil {
+			continue
+		}
+		for _, c := range in.Metrics.Counters {
+			note(c.Name, c.Labels)
+		}
+		for _, g := range in.Metrics.Gauges {
+			note(g.Name, g.Labels)
+		}
+		for _, h := range in.Metrics.Histograms {
+			note(h.Name, h.Labels)
+		}
+	}
+	var problems []string
+	for family, byKey := range card {
+		for key, vals := range byKey {
+			if len(vals) > max {
+				problems = append(problems, fmt.Sprintf(
+					"metric %s: label %q has %d distinct values (max %d) — unbounded label cardinality; move the variable part to a trace track or drop it",
+					family, key, len(vals), max))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// LintData runs the cardinality lint over one raw artifact file. Chrome
+// traces are checked for unbounded event-name vocabularies per category
+// (track names legitimately carry the per-rank dimension; event names must
+// not); stat inputs are checked with LintInputs. Artifacts without labels
+// or names to check (bench baselines, scale digests, critpath reports)
+// lint clean. Undecodable input returns the parse error as a problem.
+func LintData(data []byte, max int) []string {
+	if max <= 0 {
+		max = DefaultLintMax
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err == nil {
+		if raw, ok := probe["traceEvents"]; ok {
+			return lintChrome(raw, max)
+		}
+	}
+	art, err := ParseAny(data)
+	if err != nil {
+		return []string{fmt.Sprintf("unparseable artifact: %v", err)}
+	}
+	return LintInputs(art.Inputs, max)
+}
+
+// lintChrome flags trace categories whose event-name vocabulary exceeds
+// max distinct names.
+func lintChrome(raw json.RawMessage, max int) []string {
+	var events []chromeEvent
+	if err := json.Unmarshal(raw, &events); err != nil {
+		return []string{fmt.Sprintf("unparseable trace: %v", err)}
+	}
+	names := map[string]map[string]bool{} // cat -> distinct names
+	for _, ev := range events {
+		if ev.Ph == "M" { // metadata (track naming) is per-track by design
+			continue
+		}
+		byCat, ok := names[ev.Cat]
+		if !ok {
+			byCat = map[string]bool{}
+			names[ev.Cat] = byCat
+		}
+		byCat[ev.Name] = true
+	}
+	var problems []string
+	for cat, set := range names {
+		if len(set) > max {
+			problems = append(problems, fmt.Sprintf(
+				"trace category %q has %d distinct event names (max %d) — unbounded name cardinality; encode the variable part as a track or an argument",
+				cat, len(set), max))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

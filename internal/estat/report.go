@@ -18,13 +18,15 @@ const (
 // components plus explicit compute and residual rows, so the rows sum to
 // the wall time exactly.
 type CellReport struct {
-	Name         string           `json:"name"`
-	Ranks        int              `json:"ranks"`
-	Files        int              `json:"files"`
-	TotalBytes   int64            `json:"total_bytes"`
-	BandwidthGBs float64          `json:"bandwidth_gbs"`
-	WallTimeNs   int64            `json:"wall_time_ns"`
-	Rows         []BreakdownEntry `json:"rows"`
+	Name             string           `json:"name"`
+	Ranks            int              `json:"ranks"`
+	Files            int              `json:"files"`
+	TotalBytes       int64            `json:"total_bytes"`
+	BandwidthGBs     float64          `json:"bandwidth_gbs"`
+	WallTimeNs       int64            `json:"wall_time_ns"`
+	EventsDispatched int64            `json:"events_dispatched,omitempty"`
+	FailoverEpochs   int64            `json:"failover_epochs,omitempty"`
+	Rows             []BreakdownEntry `json:"rows"`
 }
 
 // SpeedupRow compares a cache-disabled input against a cache-enabled (or
@@ -74,12 +76,14 @@ func Build(ins []Input) Report {
 
 func buildCell(in Input) CellReport {
 	c := CellReport{
-		Name:         in.Name(),
-		Ranks:        in.Ranks,
-		Files:        in.Files,
-		TotalBytes:   in.TotalBytes,
-		BandwidthGBs: in.BandwidthGBs,
-		WallTimeNs:   in.WallTimeNs,
+		Name:             in.Name(),
+		Ranks:            in.Ranks,
+		Files:            in.Files,
+		TotalBytes:       in.TotalBytes,
+		BandwidthGBs:     in.BandwidthGBs,
+		WallTimeNs:       in.WallTimeNs,
+		EventsDispatched: in.EventsDispatched,
+		FailoverEpochs:   in.FailoverEpochs,
 	}
 	var accounted int64
 	for _, e := range in.Breakdown {
@@ -234,6 +238,12 @@ func (rep Report) Markdown() string {
 		if c.BandwidthGBs > 0 {
 			fmt.Fprintf(&sb, ", perceived bandwidth %.3f GB/s", c.BandwidthGBs)
 		}
+		if c.EventsDispatched > 0 {
+			fmt.Fprintf(&sb, ", %d events dispatched", c.EventsDispatched)
+		}
+		if c.FailoverEpochs > 0 {
+			fmt.Fprintf(&sb, ", %d failover epoch(s)", c.FailoverEpochs)
+		}
 		sb.WriteString("\n\n")
 		sb.WriteString("| component | time (ms) | share |\n")
 		sb.WriteString("|---|---:|---:|\n")
@@ -274,6 +284,12 @@ func (rep Report) CSV() string {
 		fmt.Fprintf(&sb, "summary,%s,wall_time_ns,%d\n", c.Name, c.WallTimeNs)
 		fmt.Fprintf(&sb, "summary,%s,total_bytes,%d\n", c.Name, c.TotalBytes)
 		fmt.Fprintf(&sb, "summary,%s,bandwidth_gbs,%.3f\n", c.Name, c.BandwidthGBs)
+		if c.EventsDispatched > 0 {
+			fmt.Fprintf(&sb, "summary,%s,events_dispatched,%d\n", c.Name, c.EventsDispatched)
+		}
+		if c.FailoverEpochs > 0 {
+			fmt.Fprintf(&sb, "summary,%s,failover_epochs,%d\n", c.Name, c.FailoverEpochs)
+		}
 		for _, row := range c.Rows {
 			fmt.Fprintf(&sb, "breakdown,%s,%s,%d\n", c.Name, row.Phase, row.Ns)
 		}

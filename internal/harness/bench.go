@@ -40,12 +40,25 @@ type BenchReport struct {
 	Scenarios []BenchScenario `json:"scenarios"`
 }
 
-// RunBenchReport runs the fixed scenario matrix: {cache disabled, cache
+// benchCell is one named cell of the fixed matrix: its identity fields and
+// the ready-to-run spec.
+type benchCell struct {
+	Name     string
+	Workload string
+	Case     string
+	Flush    string
+	Pattern  string
+	Scale    string
+	Spec     Spec
+}
+
+// benchCells enumerates the fixed scenario matrix: {cache disabled, cache
 // enabled + flush_immediate, cache enabled + flush_onclose} x {interleaved
 // (coll_perf), contiguous (IOR, one segment)} x {2x2, 4x2, 4x4} — 18
-// scenarios, all small enough to finish in host seconds.
-func RunBenchReport(seed int64) (*BenchReport, error) {
-	cells := []struct {
+// cells, all small enough to finish in host seconds. Tests that need to
+// exercise every bench cell under extra observability reuse this list.
+func benchCells(seed int64) []benchCell {
+	cases := []struct {
 		cs    Case
 		flush string
 	}{
@@ -63,17 +76,15 @@ func RunBenchReport(seed int64) (*BenchReport, error) {
 	}
 	scales := []struct{ nodes, ppn int }{{2, 2}, {4, 2}, {4, 4}}
 
-	rep := &BenchReport{Schema: BenchSchema, Seed: seed}
+	var cells []benchCell
 	for _, sc := range scales {
 		scale := fmt.Sprintf("%dx%d", sc.nodes, sc.ppn)
 		for _, p := range patterns {
-			for _, c := range cells {
+			for _, c := range cases {
 				caseName := string(c.cs)
 				if c.flush != "" {
 					caseName += "+" + c.flush
 				}
-				name := p.name + "/" + caseName + "/" + scale
-
 				spec := DefaultSpec(p.w, c.cs, 4, 2<<20)
 				spec.Cluster = Scaled(seed, sc.nodes, sc.ppn)
 				spec.NFiles = 2
@@ -83,25 +94,43 @@ func RunBenchReport(seed int64) (*BenchReport, error) {
 				if c.flush != "" {
 					spec.FlushFlag = c.flush
 				}
-				res, err := Run(spec)
-				if err != nil {
-					return nil, fmt.Errorf("bench %s: %w", name, err)
-				}
-				rep.Scenarios = append(rep.Scenarios, BenchScenario{
-					Name:            name,
-					Workload:        p.w.Name(),
-					Case:            string(c.cs),
-					Flush:           c.flush,
-					Pattern:         p.name,
-					Scale:           scale,
-					WallTimeNs:      int64(res.WallTime),
-					BandwidthGBs:    res.BandwidthGBs,
-					NotHiddenSyncNs: int64(res.Breakdown[mpe.PhaseNotHiddenSync]),
-					SyncedBytes:     res.Metrics.SumCounters("cache_synced_bytes_total"),
-					ExchangeBytes:   res.Metrics.SumCounters("adio_exchange_bytes_total"),
+				cells = append(cells, benchCell{
+					Name:     p.name + "/" + caseName + "/" + scale,
+					Workload: p.w.Name(),
+					Case:     string(c.cs),
+					Flush:    c.flush,
+					Pattern:  p.name,
+					Scale:    scale,
+					Spec:     spec,
 				})
 			}
 		}
+	}
+	return cells
+}
+
+// RunBenchReport runs the fixed scenario matrix and collects the
+// deterministic virtual-time outcomes of every cell.
+func RunBenchReport(seed int64) (*BenchReport, error) {
+	rep := &BenchReport{Schema: BenchSchema, Seed: seed}
+	for _, cell := range benchCells(seed) {
+		res, err := Run(cell.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", cell.Name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, BenchScenario{
+			Name:            cell.Name,
+			Workload:        cell.Workload,
+			Case:            cell.Case,
+			Flush:           cell.Flush,
+			Pattern:         cell.Pattern,
+			Scale:           cell.Scale,
+			WallTimeNs:      int64(res.WallTime),
+			BandwidthGBs:    res.BandwidthGBs,
+			NotHiddenSyncNs: int64(res.Breakdown[mpe.PhaseNotHiddenSync]),
+			SyncedBytes:     res.Metrics.SumCounters("cache_synced_bytes_total"),
+			ExchangeBytes:   res.Metrics.SumCounters("adio_exchange_bytes_total"),
+		})
 	}
 	return rep, nil
 }

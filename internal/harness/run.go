@@ -8,6 +8,7 @@ import (
 	"repro/internal/adio"
 	"repro/internal/burst"
 	"repro/internal/core"
+	"repro/internal/critpath"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/mpe"
@@ -66,6 +67,15 @@ type Spec struct {
 	// trace-event JSON (Perfetto-loadable) to this file after the run.
 	// Setting it implies TraceEvents.
 	TracePath string
+	// CritPath runs the critical-path analyzer (internal/critpath) on the
+	// recorded trace after the run, exposing Result.CritPath. It implies
+	// TraceEvents; the analysis is post-hoc, so enabling it never perturbs
+	// virtual time or the recorded trace.
+	CritPath bool
+	// TimelineBuckets, when > 0, builds the interval-sampled run timeline
+	// (internal/critpath.BuildTimeline) with that many buckets, exposing
+	// Result.Timeline. It implies TraceEvents and is likewise post-hoc.
+	TimelineBuckets int
 	// Metrics enables the metrics registry (internal/metrics): label-aware
 	// counters, gauges and latency histograms across every simulated layer,
 	// exposed as Result.Metrics. Like tracing, metrics record values only —
@@ -163,6 +173,15 @@ type Result struct {
 	// TraceSummary is the plain-text trace digest (top spans, counter
 	// high-water marks), empty when tracing was off.
 	TraceSummary string
+	// CritPath is the critical-path analysis of the recorded trace, non-nil
+	// only when Spec.CritPath was set; CritPathReport is its markdown
+	// rendering.
+	CritPath       *critpath.Report
+	CritPathReport string
+	// Timeline is the interval-sampled run timeline, non-nil only when
+	// Spec.TimelineBuckets > 0; TimelineReport is its markdown rendering.
+	Timeline       *critpath.Timeline
+	TimelineReport string
 	// Metrics is the populated registry, non-nil only when Spec.Metrics was
 	// set.
 	Metrics *metrics.Registry
@@ -225,7 +244,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 	cl := NewCluster(spec.Cluster)
 	var tr *trace.Tracer
-	if spec.TraceEvents || spec.TracePath != "" {
+	if spec.TraceEvents || spec.TracePath != "" || spec.CritPath || spec.TimelineBuckets > 0 {
 		tr = trace.New()
 		cl.Kernel.SetTracer(tr)
 	}
@@ -378,6 +397,17 @@ func Run(spec Spec) (*Result, error) {
 	if reg != nil {
 		res.Metrics = reg
 		res.MetricsSummary = reg.Text()
+	}
+	// Post-hoc analyses: both only read the already-recorded trace, so the
+	// trace bytes and every measured virtual time are identical with or
+	// without them.
+	if spec.CritPath {
+		res.CritPath = critpath.Analyze(tr, int64(res.WallTime))
+		res.CritPathReport = res.CritPath.Markdown()
+	}
+	if spec.TimelineBuckets > 0 {
+		res.Timeline = critpath.BuildTimeline(tr, int64(res.WallTime), spec.TimelineBuckets)
+		res.TimelineReport = res.Timeline.Markdown()
 	}
 	var denom sim.Time
 	for k := 0; k < spec.NFiles; k++ {

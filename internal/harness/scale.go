@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/critpath"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -51,6 +52,11 @@ type ScaleConfig struct {
 	// kilo-rank path is also the zero-observability fast path.
 	Metrics     bool
 	TraceEvents bool
+	// CritPath additionally runs the critical-path analyzer on the trace
+	// (implies tracing) and fills ScaleReport.CritPath with the top-of-path
+	// category shares. Like tracing, it is post-hoc: every digest-covered
+	// field is byte-identical with it on or off.
+	CritPath bool
 }
 
 // defaultCrashAt lands inside the first collective write phase at every
@@ -129,6 +135,17 @@ type ScaleReport struct {
 	// the run on this machine. Excluded from the digest (host-dependent).
 	HostNs       int64   `json:"host_ns"`
 	EventsPerSec float64 `json:"events_per_sec"`
+
+	// CritPath holds the critical path's category shares when
+	// ScaleConfig.CritPath was set. Excluded from the digest text so the
+	// committed digests stay byte-identical with analysis on or off (the
+	// analyzer's sum-to-wall invariant is asserted by RunScale instead).
+	CritPath []critpath.Share `json:"critpath,omitempty"`
+
+	// CritPathFull is the complete analyzer report (stragglers, path
+	// segments, message edges, what-ifs) backing the CritPath shares.
+	// Never serialized: the shares are the stable exchange surface.
+	CritPathFull *critpath.Report `json:"-"`
 }
 
 // Text renders the deterministic portion of the report, one "k=v" per
@@ -195,6 +212,7 @@ func RunScale(cfg ScaleConfig) (*ScaleReport, error) {
 		SyncBuffer:   512 << 10,
 		Metrics:      cfg.Metrics,
 		TraceEvents:  cfg.TraceEvents,
+		CritPath:     cfg.CritPath,
 	}
 	switch cfg.Variant {
 	case ScaleClean:
@@ -272,6 +290,15 @@ func RunScale(cfg ScaleConfig) (*ScaleReport, error) {
 	rep.NetDrops = cl.Fabric.Drops()
 	if hostNs > 0 {
 		rep.EventsPerSec = float64(rep.Events) / (float64(hostNs) / 1e9)
+	}
+
+	if res.CritPath != nil {
+		if res.CritPath.AttributedNs != int64(res.WallTime) {
+			return nil, fmt.Errorf("scale: critical path attributed %d ns, want wall time %d",
+				res.CritPath.AttributedNs, int64(res.WallTime))
+		}
+		rep.CritPath = res.CritPath.Shares
+		rep.CritPathFull = res.CritPath
 	}
 
 	if err := checkScaleConservation(cfg, cl, rep); err != nil {

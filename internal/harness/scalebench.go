@@ -3,6 +3,9 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"time"
+
+	"repro/internal/critpath"
 )
 
 // ScaleBenchSchema identifies the kilo-rank benchmark baseline format
@@ -29,6 +32,13 @@ type ScaleBenchReport struct {
 	Events            int64        `json:"events"`
 	EventsPerSec      float64      `json:"events_per_sec"`
 	EventsPerSecFloor float64      `json:"events_per_sec_floor"`
+	// CritPathEventsPerSec is the host-side throughput of the critical-path
+	// analyzer over a synthetic 4096-rank trace (trace events consumed per
+	// second), and CritPathFloor the conservative gate derived from it. Both
+	// are zero in baselines recorded before the analyzer existed, which
+	// disables the gate.
+	CritPathEventsPerSec float64 `json:"critpath_events_per_sec,omitempty"`
+	CritPathFloor        float64 `json:"critpath_floor,omitempty"`
 }
 
 // scaleBenchFloorDiv sets the recorded floor at measured/2: enough headroom
@@ -44,17 +54,41 @@ func RunScaleBench(seed int64) (*ScaleBenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	cpPerSec := measureCritPathThroughput()
 	return &ScaleBenchReport{
-		Schema:            ScaleBenchSchema,
-		Variant:           ScaleClean,
-		Ranks:             rep.Ranks,
-		Seed:              rep.Seed,
-		Digest:            rep.Digest(),
-		WallTimeNs:        rep.WallTimeNs,
-		Events:            rep.Events,
-		EventsPerSec:      rep.EventsPerSec,
-		EventsPerSecFloor: rep.EventsPerSec / scaleBenchFloorDiv,
+		Schema:               ScaleBenchSchema,
+		Variant:              ScaleClean,
+		Ranks:                rep.Ranks,
+		Seed:                 rep.Seed,
+		Digest:               rep.Digest(),
+		WallTimeNs:           rep.WallTimeNs,
+		Events:               rep.Events,
+		EventsPerSec:         rep.EventsPerSec,
+		EventsPerSecFloor:    rep.EventsPerSec / scaleBenchFloorDiv,
+		CritPathEventsPerSec: cpPerSec,
+		CritPathFloor:        cpPerSec / scaleBenchFloorDiv,
 	}, nil
+}
+
+// critPathBenchIters trades measurement noise against record time: three
+// ~35ms analyzer passes keep the host-side cost of a record or compare run
+// around a tenth of a second.
+const critPathBenchIters = 3
+
+// measureCritPathThroughput times the critical-path analyzer over the
+// synthetic 4096-rank trace and returns trace events consumed per second.
+func measureCritPathThroughput() float64 {
+	tr := critpath.SyntheticTrace(ScaleBenchRanks)
+	n := len(tr.Events())
+	start := time.Now()
+	for i := 0; i < critPathBenchIters; i++ {
+		critpath.Analyze(tr, 0)
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n*critPathBenchIters) / elapsed
 }
 
 // MarshalScaleBench renders a report as the committed JSON baseline.
@@ -93,6 +127,10 @@ func CompareScaleBench(base, cur *ScaleBenchReport) error {
 	if cur.EventsPerSec < base.EventsPerSecFloor {
 		return fmt.Errorf("scalebench: %.0f events/sec is below the recorded floor %.0f (baseline measured %.0f)",
 			cur.EventsPerSec, base.EventsPerSecFloor, base.EventsPerSec)
+	}
+	if base.CritPathFloor > 0 && cur.CritPathEventsPerSec < base.CritPathFloor {
+		return fmt.Errorf("scalebench: critpath analyzer at %.0f events/sec is below the recorded floor %.0f (baseline measured %.0f)",
+			cur.CritPathEventsPerSec, base.CritPathFloor, base.CritPathEventsPerSec)
 	}
 	return nil
 }

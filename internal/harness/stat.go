@@ -21,6 +21,9 @@ func (r *Result) StatInput() estat.Input {
 		ComputeNs:    int64(r.computeTotal()),
 		TotalBytes:   r.TotalBytes,
 		BandwidthGBs: r.BandwidthGBs,
+
+		EventsDispatched: r.EventsDispatched,
+		FailoverEpochs:   r.FailoverEpochs,
 	}
 	for _, ph := range r.Phases {
 		in.Phases = append(in.Phases, estat.PhaseTime{

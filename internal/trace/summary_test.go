@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSummaryCounterOrdering pins the counter section's sort contract:
+// counters are ordered by (track, first sample time, name), NOT by series
+// registration order — registration order depends on how stations
+// interleave on the host, while track and first-sample time are properties
+// of the run itself. Two tracers whose series register in different orders
+// (each series' own samples still in time order, as a deterministic sim
+// delivers them) must render identical summaries.
+func TestSummaryCounterOrdering(t *testing.T) {
+	type series struct {
+		track   string
+		name    string
+		ts, val []int64
+	}
+	all := []series{
+		{"rank 0", "dirty", []int64{10, 50}, []int64{3, 1}},
+		{"rank 0", "queue", []int64{20, 40}, []int64{5, 9}},
+		{"rank 1", "dirty", []int64{30}, []int64{2}},
+		{"rank 1", "queue", []int64{30}, []int64{7}},
+	}
+	build := func(order []int) string {
+		tr := New()
+		tracks := map[string]TrackID{
+			"rank 0": tr.Track(GroupRanks, "rank 0"),
+			"rank 1": tr.Track(GroupRanks, "rank 1"),
+		}
+		for _, i := range order {
+			s := all[i]
+			for j := range s.ts {
+				tr.Counter(tracks[s.track], s.name, s.ts[j], s.val[j])
+			}
+		}
+		return tr.Summary()
+	}
+	forward := build([]int{0, 1, 2, 3})
+	shuffled := build([]int{3, 1, 2, 0})
+	if forward != shuffled {
+		t.Fatalf("summary depends on series registration order:\nforward:\n%s\nshuffled:\n%s",
+			forward, shuffled)
+	}
+	// The rendered order itself: track "rank 0" before "rank 1"; within a
+	// track, earlier first sample first (dirty@10 before queue@20), and
+	// first-sample ties broken by name (rank 1 dirty before queue, both @30).
+	want := []string{"rank 0:dirty", "rank 0:queue", "rank 1:dirty", "rank 1:queue"}
+	pos := -1
+	for _, label := range want {
+		p := strings.Index(forward, label)
+		if p < 0 {
+			t.Fatalf("summary misses counter %q:\n%s", label, forward)
+		}
+		if p < pos {
+			t.Errorf("counter %q out of order (want %v):\n%s", label, want, forward)
+		}
+		pos = p
+	}
+}
+
+// TestSummaryCounterHighWater pins that the counter section reports the
+// high-water mark, the last value and the sample count — not the sum.
+func TestSummaryCounterHighWater(t *testing.T) {
+	tr := New()
+	tk := tr.Track(GroupKernel, "cache.sync")
+	tr.Counter(tk, "queue", 10, 4)
+	tr.Counter(tk, "queue", 20, 9)
+	tr.Counter(tk, "queue", 30, 2)
+	sum := tr.Summary()
+	line := ""
+	for _, l := range strings.Split(sum, "\n") {
+		if strings.Contains(l, "cache.sync:queue") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("counter label missing:\n%s", sum)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[1] != "9" || fields[2] != "2" || fields[3] != "3" {
+		t.Errorf("want max=9 last=2 samples=3, got line %q", line)
+	}
+}

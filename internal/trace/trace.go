@@ -177,6 +177,15 @@ func (t *Tracer) Track(group int, name string) TrackID {
 	return id
 }
 
+// TrackGroup returns the group a track belongs to, or -1 when the id is
+// out of range (or the tracer is disabled).
+func (t *Tracer) TrackGroup(id TrackID) int {
+	if t == nil || id < 0 || int(id) >= len(t.tracks) {
+		return -1
+	}
+	return t.tracks[id].group
+}
+
 // TrackName returns the display name of a track.
 func (t *Tracer) TrackName(id TrackID) string {
 	if t == nil || id < 0 || int(id) >= len(t.tracks) {

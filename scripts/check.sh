@@ -29,7 +29,12 @@
 # fails (SKIP_BENCH=1 skips this pass). A committed BENCH_SCALE_*.json
 # additionally gates the 4096-rank kernel: its report digest must
 # reproduce exactly and the measured events/sec must stay above the
-# recorded floor.
+# recorded floor (including the critical-path analyzer's own floor).
+#
+# A cardinality lint also gates the run: e10stat -lint rejects unbounded
+# metric-label values and trace-name vocabularies (a raw rank id leaking
+# into a label, say) over the demo pair's metrics and every committed JSON
+# artifact. SKIP_LINT=1 skips it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -103,6 +108,16 @@ else
     else
         echo "== bench-compare skipped (no BENCH_*.json baseline)"
     fi
+fi
+
+if [ "${SKIP_LINT:-}" = "1" ]; then
+    echo "== cardinality lint skipped (SKIP_LINT=1)"
+else
+    echo "== cardinality lint (metric labels and trace names stay bounded)"
+    # shellcheck disable=SC2046 # artifact list is intentionally word-split
+    go run ./cmd/e10stat -lint -run \
+        $(ls BENCH_*.json 2>/dev/null || true) \
+        internal/harness/testdata/*.json
 fi
 
 echo "== coverage gate (>= ${cover_min}% of statements)"
