@@ -1,7 +1,8 @@
 # Tier-1 gate plus static, race and coverage checks; see scripts/check.sh.
 .PHONY: check check-full test build vet fmt-check cover trace-demo \
 	critpath-demo bench-record bench-compare scale-bench-record \
-	scale-smoke scale chaos chaos-smoke chaos-failover chaos-tenants
+	scale-smoke scale chaos chaos-smoke chaos-failover chaos-tenants \
+	chaos-corrupt
 
 build:
 	go build ./...
@@ -51,6 +52,12 @@ chaos-failover:
 # (every unfaulted tenant's file byte-identical to a solo same-seed run).
 chaos-tenants:
 	go run ./cmd/e10chaos -iters 200 -seed 11 -tenants
+
+# Silent-corruption soak: crash-then-corrupt scenarios only (torn journal
+# appends and at-rest NVM bit-rot ahead of recovery), exercising the
+# checksummed scrub-and-repair path and its quarantine accounting.
+chaos-corrupt:
+	go run ./cmd/e10chaos -iters 200 -seed 13 -corrupt
 
 # The quick variant check.sh runs on every gate.
 chaos-smoke:

@@ -7,6 +7,7 @@
 //	e10chaos -iters 200 -seed 1          # soak; exit 1 on any violation
 //	e10chaos -iters 200 -json            # same, machine-readable report
 //	e10chaos -iters 200 -tenants         # multi-tenant service-mode soak
+//	e10chaos -iters 200 -corrupt         # corruption-recovery soak
 //	e10chaos -replay chaos_repro.json    # re-execute a committed reproducer
 //
 // The whole soak is a pure function of (-seed, -iters): two runs print
@@ -16,11 +17,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/chaos"
+	"repro/internal/estat"
 )
 
 func main() {
@@ -34,14 +37,16 @@ func main() {
 		noShrnk = flag.Bool("no-shrink", false, "report failures without shrinking them")
 		netOnly = flag.Bool("netfaults", false, "soak only degraded-mode collective scenarios (lossy links, duplication, partitions, aggregator crashes)")
 		tenants = flag.Bool("tenants", false, "soak only multi-tenant service-mode scenarios (quotas, reservations, queued admissions, tenant crashes, NVM faults)")
+		corrupt = flag.Bool("corrupt", false, "soak only corruption-recovery scenarios (crashes followed by torn journal appends and bit-rot, probing scrub-and-repair)")
 		critf   = flag.Bool("critpath", false, "with -replay: also print the replayed run's critical-path report")
 		timelf  = flag.Bool("timeline", false, "with -replay: also print the replayed run's timeline")
+		metOut  = flag.String("metrics-out", "", "with -replay: write the replayed run's metric snapshot as e10stat input JSON to this file (recovery/scrub counters included)")
 		verbose = flag.Bool("v", false, "print one line per scenario")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		runReplay(*replay, *critf, *timelf)
+		runReplay(*replay, *critf, *timelf, *metOut)
 		return
 	}
 
@@ -64,6 +69,9 @@ func main() {
 	}
 	if *tenants {
 		gen = chaos.GenerateTenants
+	}
+	if *corrupt {
+		gen = chaos.GenerateCorrupt
 	}
 	rep, err := chaos.ExploreGen(*seed, *iters, gen, progress)
 	if err != nil {
@@ -124,8 +132,10 @@ func main() {
 // runReplay re-executes a committed reproducer and verifies the recorded
 // verdict still holds. With critpath/timeline the replayed run's
 // critical-path report and timeline are printed too — the replay is the
-// cheapest way to get an attributed view of a failing schedule.
-func runReplay(path string, critpath, timeline bool) {
+// cheapest way to get an attributed view of a failing schedule — and
+// metricsOut exports the metric snapshot as e10stat input, which is how
+// the scrub/quarantine counters of a corruption fixture reach e10stat.
+func runReplay(path string, critpath, timeline bool, metricsOut string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -162,6 +172,26 @@ func runReplay(path string, critpath, timeline bool) {
 		} else {
 			fmt.Println("  (no timeline: the run did not terminate cleanly)")
 		}
+	}
+	if metricsOut != "" {
+		in := estat.Input{
+			Schema:           estat.Schema,
+			Workload:         "chaos",
+			Case:             rp.Scenario.Mode,
+			Cell:             rp.Scenario.Shape,
+			Ranks:            rp.Scenario.Nodes * rp.Scenario.PerNode,
+			WallTimeNs:       res.WallNS,
+			EventsDispatched: res.Events,
+			Metrics:          res.Metrics,
+		}
+		b, err := json.MarshalIndent(in, "", "  ")
+		if err != nil {
+			fatalf("metrics-out: %v", err)
+		}
+		if err := os.WriteFile(metricsOut, append(b, '\n'), 0o644); err != nil {
+			fatalf("metrics-out: %v", err)
+		}
+		fmt.Printf("  metrics: wrote %s (feed it to e10stat)\n", metricsOut)
 	}
 	if !match {
 		fatalf("%s: verdict did NOT reproduce", path)

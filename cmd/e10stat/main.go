@@ -2,7 +2,9 @@
 // reports: the per-phase cost breakdown (Figures 5/6/8/10), the cache
 // speedup comparison (Figures 4/7/9) and the flush-overlap accounting of
 // Equation 1. It accepts every artifact the repo's tools write: the JSON
-// files from the workload binaries' -metrics-out flag, Chrome traces from
+// files from the workload binaries' -metrics-out flag (and from
+// `e10chaos -replay ... -metrics-out`, whose recovery/scrub counters feed
+// the crash-recovery section), Chrome traces from
 // -trace, bench baselines (BENCH_<date>.json), kilo-rank scale baselines
 // (BENCH_SCALE_<date>.json), scale reports and digest goldens, and the
 // critical-path / timeline reports from -critpath and -timeline; results

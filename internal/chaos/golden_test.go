@@ -173,6 +173,56 @@ func fixtures() []struct {
 				Faults: []Action{{Kind: fault.CrashNode, Node: 1, FromUS: 5_000}},
 			},
 		},
+		{
+			file: "torn_journal_crash.json",
+			note: "clean: node 1 crashes mid-write and its last journal append is torn; scrub truncates to the valid record prefix, quarantines any dropped dirty range, and replay restores the rest, no invariant trips",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 2,
+				Faults: []Action{
+					{Kind: fault.CrashNode, Node: 1, FromUS: 10_000},
+					{Kind: fault.TornWrite, Node: 1, FromUS: 11_000},
+				},
+			},
+		},
+		{
+			file: "bitrot_replay.json",
+			note: "clean: node 1 crashes mid-write and its at-rest NVM state rots before recovery; checksums catch every rotten chunk, scrub quarantines them, and replay restores only verified bytes, no invariant trips",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 2,
+				Faults: []Action{
+					{Kind: fault.CrashNode, Node: 1, FromUS: 10_000},
+					{Kind: fault.BitRot, Node: 1, Factor: 0.1, FromUS: 12_000},
+				},
+			},
+		},
+		{
+			file: "silent_corruption.json",
+			note: "a durable byte is flipped inside an extent the recovery replay reported restored: recovery_equivalence must notice the restored bytes lie",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 2,
+				Faults:    []Action{{Kind: fault.CrashNode, Node: 1, FromUS: 10_000}},
+				Injection: "silent-corrupt",
+			},
+		},
+		{
+			file: "double_crash_scrub.json",
+			note: "clean: node 1 crashes mid-write and node 0 crashes during the recovery window; the half-replayed journals stay replayable and the second recovery is idempotent, no invariant trips",
+			sc: Scenario{
+				Seed: 42, Nodes: 2, PerNode: 2,
+				Shape: ShapeInterleaved, BlockKB: 64, Blocks: 2,
+				Mode: "enable", FlushFlag: "flush_onclose", Sessions: 3,
+				Faults: []Action{
+					{Kind: fault.CrashNode, Node: 1, FromUS: 10_000},
+					{Kind: fault.CrashNode, Node: 0, FromUS: 60_000},
+				},
+			},
+		},
 	}
 }
 

@@ -55,6 +55,10 @@ var injections = map[string]struct {
 	// digest no longer matches its solo same-seed run, which is exactly
 	// what the tenant_isolation oracle exists to catch.
 	"cross-tenant-scribble": {phasePostRun, InvTenantIsolation},
+	// Flip one durable byte inside an extent the recovery replay claims to
+	// have restored: scrub-and-repair said the data is back, so the
+	// recovery_equivalence oracle must notice the bytes lie.
+	"silent-corrupt": {phasePostRun, InvRecoveryEquivalence},
 }
 
 // Trips returns the invariant an injection is designed to violate ("" for
@@ -154,5 +158,21 @@ func applyInjection(r *run, phase injPhase, mr ...*mpi.Rank) {
 			}
 		}
 		meta.Store().WriteAt(patternBuf(0, span, 64), span, 64)
+	case "silent-corrupt":
+		// One durable byte under the first recovered extent of the first
+		// rank whose recovery replayed anything.
+		for rank := range r.recovered {
+			exts := r.recovered[rank].Extents()
+			if len(exts) == 0 {
+				continue
+			}
+			meta := r.cl.FS.Lookup(FilePath)
+			if meta == nil {
+				return
+			}
+			off := exts[0].Off
+			meta.Store().WriteAt([]byte{^pattern(rank, off)}, off, 1)
+			return
+		}
 	}
 }

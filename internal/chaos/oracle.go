@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/critpath"
 	"repro/internal/extent"
+	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -27,6 +29,10 @@ func (r *run) check() *Result {
 		AckedOps:  len(r.acked),
 		Fallbacks: r.fallbacks,
 	}
+	if r.mreg != nil {
+		snap := r.mreg.Snapshot()
+		res.Metrics = &snap
+	}
 	add := func(inv, format string, args ...interface{}) {
 		res.Violations = append(res.Violations, Violation{
 			Invariant: inv, Detail: fmt.Sprintf(format, args...),
@@ -44,6 +50,7 @@ func (r *run) check() *Result {
 	}
 
 	r.checkConservation(add)
+	r.checkRecoveryEquivalence(add)
 	r.checkIdempotence(add)
 	r.checkLockRelease(add)
 	r.checkTraceMetrics(add)
@@ -132,6 +139,41 @@ func (r *run) checkConservation(add func(inv, format string, args ...interface{}
 		cf.Store().ReadAt(buf, off)
 		return buf
 	}
+	// The scrub-loss ledger: ranges a recovery scrub condemned. It outlives
+	// recovery opens that themselves died mid-replay, unlike the harvested
+	// per-cache quarantine sets.
+	scrubLost := map[int]*extent.Set{}
+	scrubLostFor := func(rank int) *extent.Set {
+		if s, ok := scrubLost[rank]; ok {
+			return s
+		}
+		s := &extent.Set{}
+		if key := r.journalKey[rank]; key != "" {
+			for _, e := range r.cl.CoreEnv.ScrubLost(key) {
+				s.Add(e)
+			}
+		}
+		scrubLost[rank] = s
+		return s
+	}
+	// cacheCorrupt reports whether the rank's cache store itself flags
+	// corruption inside e — rot that landed after the last scrub, which no
+	// oracle-visible scrub has condemned yet but the checksums still catch.
+	cacheCorrupt := func(rank int, e extent.Extent) bool {
+		name := r.cacheName[rank]
+		if name == "" {
+			return false
+		}
+		cf, err := r.cl.NVMs[r.cacheNode[rank]].Open(name, false)
+		if err != nil {
+			return false
+		}
+		integ, ok := cf.Store().(store.Integrity)
+		if !ok {
+			return false
+		}
+		return len(integ.VerifyExtent(e)) > 0
+	}
 
 	for _, rec := range r.acked {
 		fv := view(rec.file)
@@ -162,13 +204,29 @@ func (r *run) checkConservation(add func(inv, format string, args ...interface{}
 			if fv.durable.Covers(extent.Extent{Off: off, Len: n}) && bytes.Equal(want[lo:lo+n], got[lo:lo+n]) {
 				continue
 			}
-			if !j.Covers(extent.Extent{Off: off, Len: n}) {
+			// Subranges a scrub condemned are not silent loss: the scrub
+			// detected the corruption, counted it, and degraded the range to
+			// re-fetch/write-through. The recovery-equivalence oracle owns
+			// the quarantine bookkeeping. The ledger (not just the harvested
+			// quarantine view) matters: a recovery open can itself die
+			// mid-replay, leaving no cache to harvest from.
+			sub := extent.Extent{Off: off, Len: n}
+			if r.quarantined[rec.rank].Covers(sub) || scrubLostFor(rec.rank).Covers(sub) {
+				continue
+			}
+			if !j.Covers(sub) {
 				add(InvConservation,
 					"rank %d bytes [%d,+%d) neither durable nor journalled (rank error: %s)",
 					rec.rank, off, n, r.rankErr[rec.rank])
 				break
 			}
 			if cb := cacheBytes(rec.rank, off, n); cb == nil || !bytes.Equal(cb, want[lo:lo+n]) {
+				// Payload rot the checksums can still catch is detected-not-
+				// silent: the next recovery's scrub quarantines exactly these
+				// chunks. Only undetectable divergence is a violation.
+				if cacheCorrupt(rec.rank, sub) {
+					continue
+				}
 				add(InvConservation,
 					"rank %d bytes [%d,+%d) journalled but cache payload lost or corrupt",
 					rec.rank, off, n)
@@ -178,11 +236,102 @@ func (r *run) checkConservation(add func(inv, format string, args ...interface{}
 	}
 }
 
+// checkRecoveryEquivalence verifies scrub-and-repair recovery told the
+// truth: every extent the replay reported restored is durable in the
+// global file and byte-identical to the cache payload the replay copied
+// from (its own source of truth — the reference-pattern comparison is
+// conservation's business), and the quarantine stats agree with the
+// quarantined extent sets. Quarantined subranges are excluded from the
+// byte comparison — a range honestly replayed by one recovery may be
+// legitimately quarantined by a later one when corruption strikes between
+// the sessions — as are chunks the cache store currently flags corrupt
+// (rot that landed after the last scrub, which no oracle-visible scrub
+// ever judged). This is what stands between "recovery ran" and "recovery
+// claims bytes it never actually restored".
+func (r *run) checkRecoveryEquivalence(add func(inv, format string, args ...interface{})) {
+	if r.recovered == nil {
+		return
+	}
+	var st store.Store
+	durable := &extent.Set{}
+	if meta := r.cl.FS.Lookup(FilePath); meta != nil {
+		st = meta.Store()
+		durable = st.Written()
+	}
+	for rank := range r.recovered {
+		rs, qs := r.recovered[rank], r.quarantined[rank]
+		if rs.Len() == 0 && qs.Len() == 0 && r.quarBytes[rank] == 0 {
+			continue
+		}
+		var cacheStore store.Store
+		if name := r.cacheName[rank]; name != "" {
+			if cf, err := r.cl.NVMs[r.cacheNode[rank]].Open(name, false); err == nil {
+				cacheStore = cf.Store()
+			}
+		}
+		// The excluded view: everything scrub quarantined plus whatever the
+		// cache store flags corrupt right now.
+		var excluded extent.Set
+		for _, e := range qs.Extents() {
+			excluded.Add(e)
+		}
+		if integ, ok := cacheStore.(store.Integrity); ok {
+			for _, e := range rs.Extents() {
+				for _, bad := range integ.VerifyExtent(e) {
+					excluded.Add(bad)
+				}
+			}
+		}
+		for _, e := range rs.Extents() {
+			for _, sub := range excluded.Gaps(e) {
+				if !durable.Covers(sub) {
+					add(InvRecoveryEquivalence,
+						"rank %d recovered extent [%d,+%d) is not durable in %s", rank, sub.Off, sub.Len, FilePath)
+					continue
+				}
+				got := make([]byte, sub.Len)
+				if st != nil {
+					st.ReadAt(got, sub.Off)
+				}
+				want := make([]byte, sub.Len)
+				if cacheStore != nil {
+					cacheStore.ReadAt(want, sub.Off)
+				}
+				if !bytes.Equal(got, want) {
+					i := 0
+					for i < len(got) && got[i] == want[i] {
+						i++
+					}
+					add(InvRecoveryEquivalence,
+						"rank %d recovered extent [%d,+%d) differs from the replayed cache payload at offset %d",
+						rank, sub.Off, sub.Len, sub.Off+int64(i))
+				}
+			}
+		}
+		if (qs.Len() > 0) != (r.quarBytes[rank] > 0) {
+			add(InvRecoveryEquivalence,
+				"rank %d quarantine bookkeeping inconsistent: %d quarantined extent(s) vs %d stat byte(s)",
+				rank, qs.Len(), r.quarBytes[rank])
+		}
+	}
+}
+
 // checkIdempotence compares the global file's bytes over the crash
-// session's journal before and after the second replay.
+// session's journal before and after the second replay. Replay-twice ==
+// replay-once only holds when nothing corrupts the cache between the two
+// replays, so the check stands down when a corruption fault fired at or
+// after the first recovery began — the scrub's verdicts then legitimately
+// differ between the sessions (the deliberate corrupt-replay injection
+// stages its corruption without a fault, so it is still caught).
 func (r *run) checkIdempotence(add func(inv, format string, args ...interface{})) {
 	if !r.staged {
 		return
+	}
+	for _, a := range r.sc.Faults {
+		if (a.Kind == fault.TornWrite || a.Kind == fault.BitRot) &&
+			int64(sim.Time(a.FromUS)*sim.Microsecond) >= r.recoverStartNS {
+			return
+		}
 	}
 	if !bytes.Equal(r.idemA, r.idemB) {
 		i := 0

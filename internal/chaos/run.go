@@ -51,13 +51,19 @@ const (
 	// on the path is backed by a matching async begin/end pair in the
 	// trace.
 	InvCritPath = "critpath_consistency"
+	// InvRecoveryEquivalence demands scrub-and-repair recovery be honest:
+	// every extent the replay claims to have restored must be durable in
+	// the global file and byte-identical to the clean same-seed payload,
+	// no range may be both recovered and quarantined, and the quarantine
+	// stats must agree with the quarantined extent set.
+	InvRecoveryEquivalence = "recovery_equivalence"
 )
 
 // Invariants lists every checked invariant, in report order.
 var Invariants = []string{
 	InvConservation, InvLostAck, InvIdempotence,
 	InvLockRelease, InvLiveness, InvTraceMetrics, InvStuckCollective,
-	InvTenantIsolation, InvCritPath,
+	InvTenantIsolation, InvCritPath, InvRecoveryEquivalence,
 }
 
 // Result is one executed scenario's verdict.
@@ -75,6 +81,11 @@ type Result struct {
 	// digests stay byte-identical.
 	CritPath *critpath.Report   `json:"-"`
 	Timeline *critpath.Timeline `json:"-"`
+
+	// Metrics is the run's full metric snapshot (recovery and scrub
+	// counters included), for e10chaos -metrics-out. Excluded from the
+	// JSON for the same reason as CritPath.
+	Metrics *metrics.Snapshot `json:"-"`
 }
 
 // Failed reports whether any invariant was violated.
@@ -128,6 +139,17 @@ type run struct {
 	idemA    []byte                     // PFS bytes over idemJ after first recovery
 	idemB    []byte                     // ... after second recovery
 	staged   bool                       // idempotence probe actually ran
+
+	// Scrub-and-repair accounting, per rank: ranges the recovery replay
+	// restored to the global file, ranges scrub quarantined as corrupt,
+	// and the cumulative quarantined byte count from the cache stats.
+	// recoverStartNS is the virtual time the first recovery open began —
+	// the oracle boundary between "corruption the scrub had to catch" and
+	// "corruption racing the replay itself".
+	recovered      []*extent.Set
+	quarantined    []*extent.Set
+	quarBytes      []int64
+	recoverStartNS int64
 
 	fallbacks int   // recovery opens that reverted to the standard path
 	runErr    error // kernel verdict: nil, deadlock, or event budget
@@ -209,6 +231,13 @@ func (r *run) setup() error {
 	r.cacheName = make([]string, ranks)
 	r.cacheNode = make([]int, ranks)
 	r.journalKey = make([]string, ranks)
+	r.recovered = make([]*extent.Set, ranks)
+	r.quarantined = make([]*extent.Set, ranks)
+	r.quarBytes = make([]int64, ranks)
+	for i := 0; i < ranks; i++ {
+		r.recovered[i] = &extent.Set{}
+		r.quarantined[i] = &extent.Set{}
+	}
 	r.live = make([]map[*core.Cache]bool, r.sc.Nodes)
 	for i := range r.live {
 		r.live[i] = make(map[*core.Cache]bool)
@@ -409,7 +438,7 @@ func (r *run) simulate() {
 		if me == 0 && len(r.idemKeys) > 0 {
 			r.idemA = r.snapshotPFS()
 			for _, k := range r.idemKeys {
-				r.cl.CoreEnv.RestoreJournal(k, r.idemJ[k])
+				r.cl.CoreEnv.RestoreJournal(k, r.stagedExtents(k))
 			}
 			applyInjection(r, phaseStaging)
 			r.staged = true
@@ -425,6 +454,9 @@ func (r *run) simulate() {
 
 // runSession performs one recovery open/close round.
 func (r *run) runSession(mr *mpi.Rank, tag string) {
+	if r.recoverStartNS == 0 {
+		r.recoverStartNS = int64(r.cl.Kernel.Now())
+	}
 	f, err := r.open(mr, true)
 	if err != nil {
 		r.fail(mr.ID(), tag+"/open", err)
@@ -433,9 +465,42 @@ func (r *run) runSession(mr *mpi.Rank, tag string) {
 	if f.Stats.CacheFallback {
 		r.fallbacks++
 	}
+	if c, ok := f.InstalledHooks().(*core.Cache); ok && c != nil {
+		// Harvest the open's scrub-and-repair verdicts while the cache is
+		// live: what the replay restored and what scrub quarantined.
+		me := mr.ID()
+		for _, e := range c.Recovered() {
+			r.recovered[me].Add(e)
+		}
+		for _, e := range c.Quarantined() {
+			r.quarantined[me].Add(e)
+		}
+		r.quarBytes[me] += c.Stats.QuarantinedBytes
+	}
 	if err := r.close(f, mr); err != nil {
 		r.fail(mr.ID(), tag+"/close", err)
 	}
+}
+
+// stagedExtents returns the crash-session journal extents to re-stage
+// under key for the idempotence probe, minus whatever the first recovery's
+// scrub quarantined. The probe models a crash that lost the journal TRIM
+// after the data landed — quarantined ranges were never replayed, so no
+// trim of theirs could have been lost, and re-staging them would resurrect
+// data the scrub already condemned.
+func (r *run) stagedExtents(key string) []extent.Extent {
+	exts := r.idemJ[key]
+	for rank, k := range r.journalKey {
+		if k != key || r.quarantined[rank].Len() == 0 {
+			continue
+		}
+		var kept []extent.Extent
+		for _, e := range exts {
+			kept = append(kept, r.quarantined[rank].Gaps(e)...)
+		}
+		exts = kept
+	}
+	return exts
 }
 
 // snapshotPFS reads the global file's bytes over every snapshotted journal

@@ -251,6 +251,10 @@ func (sc *Scenario) Schedule() *fault.Schedule {
 			c.DupLink(a.Node, a.Factor)
 		case fault.Partition:
 			c.Partition(a.Nodes...)
+		case fault.TornWrite:
+			c.TornWrite(a.Node)
+		case fault.BitRot:
+			c.BitRot(a.Node, a.Factor)
 		}
 	}
 	return s
@@ -358,6 +362,16 @@ func (sc *Scenario) Validate() error {
 			if a.Node < 0 || a.Node >= sc.Nodes {
 				return fmt.Errorf("chaos: fault %d (%s): node %d outside cluster", i, a, a.Node)
 			}
+		case fault.TornWrite, fault.BitRot:
+			if a.Node < 0 || a.Node >= sc.Nodes {
+				return fmt.Errorf("chaos: fault %d (%s): node %d outside cluster", i, a, a.Node)
+			}
+			if a.ToUS != 0 {
+				return fmt.Errorf("chaos: fault %d (%s): %s cannot revert (to_us must be 0)", i, a, a.Kind)
+			}
+			if a.Kind == fault.BitRot && (a.Factor <= 0 || a.Factor >= 1) {
+				return fmt.Errorf("chaos: fault %d (%s): rate %v outside (0,1)", i, a, a.Factor)
+			}
 		case fault.Partition:
 			if a.ToUS == 0 {
 				return fmt.Errorf("chaos: fault %d (%s): a partition needs a healing window (to_us)", i, a)
@@ -383,6 +397,9 @@ func (sc *Scenario) Validate() error {
 		}
 		if sc.Injection == "cross-tenant-scribble" && len(sc.Tenants) < 2 {
 			return fmt.Errorf("chaos: injection %q needs >= 2 tenants", sc.Injection)
+		}
+		if sc.Injection == "silent-corrupt" && sc.Sessions < 2 {
+			return fmt.Errorf("chaos: injection %q needs a recovery session (sessions >= 2)", sc.Injection)
 		}
 	}
 	return nil
@@ -516,6 +533,59 @@ func randomNetAction(rng *rand.Rand, nodes int) Action {
 			FromUS: int64(1_000 + rng.Intn(40_000)),
 		}
 	}
+}
+
+// GenerateCorrupt draws only corruption-recovery scenarios: a crash plus
+// at-rest corruption — a torn journal append, bit-rot, or both — on the
+// crashed node's NVM, followed by scrub-and-repair recovery sessions.
+// e10chaos -corrupt soaks with this generator to concentrate iterations
+// on the checksummed journal and quarantine machinery.
+func GenerateCorrupt(rng *rand.Rand) Scenario {
+	sc := Scenario{
+		Nodes:     1 + rng.Intn(3),
+		PerNode:   1 + rng.Intn(2),
+		Shape:     []string{ShapeContiguous, ShapeInterleaved, ShapeStrided}[rng.Intn(3)],
+		BlockKB:   []int64{16, 64, 128}[rng.Intn(3)],
+		Blocks:    1 + rng.Intn(4),
+		Mode:      "enable",
+		FlushFlag: []string{"flush_onclose", "flush_adaptive"}[rng.Intn(2)],
+		Sessions:  2 + rng.Intn(2),
+	}
+	if rng.Intn(10) < 3 {
+		sc.Mode = "coherent"
+	}
+	// Something to recover from: crash one node inside the write phase so
+	// its journals retain unsynced extents.
+	crash := Action{
+		Kind: fault.CrashNode, Node: rng.Intn(sc.Nodes),
+		FromUS: int64(1_000 + rng.Intn(30_000)),
+	}
+	sc.Faults = append(sc.Faults, crash)
+	// ...then corrupt the crashed node's at-rest state shortly after. A
+	// corruption landing after recovery already replayed is a harmless
+	// no-op, so late times are safe, just less interesting.
+	at := crash.FromUS + int64(100+rng.Intn(2_000))
+	pick := rng.Intn(3) // 0: torn only, 1: rot only, 2: both
+	if pick != 1 {
+		sc.Faults = append(sc.Faults, Action{Kind: fault.TornWrite, Node: crash.Node, FromUS: at})
+		at += int64(50 + rng.Intn(500))
+	}
+	if pick != 0 {
+		sc.Faults = append(sc.Faults, Action{
+			Kind: fault.BitRot, Node: crash.Node,
+			Factor: 0.05 + 0.4*rng.Float64(), FromUS: at,
+		})
+	}
+	// Sprinkle 0..2 additional hardware faults, dropping any candidate that
+	// would make the schedule invalid (same-kind overlap).
+	for n := rng.Intn(3); n > 0; n-- {
+		a := randomAction(rng, sc.Nodes)
+		sc.Faults = append(sc.Faults, a)
+		if sc.Schedule().Validate() != nil {
+			sc.Faults = sc.Faults[:len(sc.Faults)-1]
+		}
+	}
+	return sc
 }
 
 // GenerateTenants draws only multi-tenant service-mode scenarios: several

@@ -103,7 +103,8 @@ func Register(fs *flag.FlagSet, includeLastSync bool) *Flags {
 			"print the run timeline sampled into this many buckets (counters, in-flight collectives/messages, tenant events); implies event tracing"),
 		Stats: fs.Bool("stats", false, "print the cluster resource report after the run"),
 		Faults: fs.String("faults", "", "fault schedule, e.g. "+
-			"'degrade-target,target=1,factor=0.2,from=2s,to=8s;fail-device,node=0,at=5s'"),
+			"'degrade-target,target=1,factor=0.2,from=2s,to=8s;fail-device,node=0,at=5s'; "+
+			"corruption kinds: 'torn-write,node=0,at=5s;bit-rot,node=1,rate=0.1,at=6s'"),
 		Reliable: fs.Bool("reliable", false,
 			"arm reliable message delivery (acks, retransmit, dedup) and collective timeouts; required for lossy-link/dup-link/partition faults"),
 		Resilient: fs.Bool("resilient", false,

@@ -40,20 +40,29 @@ type Env struct {
 
 	// journals maps a cache file (node + cache path) to its dirty-extent
 	// journal: the extents written to the cache but not yet synced to the
-	// global file. Like the cache file itself, the journal outlives the
-	// open (it models a journal kept on the NVM device), which is what
-	// makes crash recovery possible.
-	journals map[string]*extent.Set
+	// global file, kept as checksummed commit records (see journal.go).
+	// Like the cache file itself, the journal outlives the open (it models
+	// a journal kept on the NVM device), which is what makes crash
+	// recovery possible.
+	journals map[string]*Journal
+
+	// scrubLost is the cumulative scrub-loss ledger: every range a
+	// recovery scrub ever condemned (torn/rotted journal records, cache
+	// chunks failing their checksum), per journal key. Unlike the live
+	// Cache's quarantine set it survives a recovery open that itself dies
+	// mid-replay, so external oracles can always distinguish detected
+	// corruption from silent loss.
+	scrubLost map[string]*extent.Set
 }
 
 // journal returns (creating on demand) the dirty-extent journal for key.
-func (e *Env) journal(key string) *extent.Set {
+func (e *Env) journal(key string) *Journal {
 	if e.journals == nil {
-		e.journals = make(map[string]*extent.Set)
+		e.journals = make(map[string]*Journal)
 	}
 	s, ok := e.journals[key]
 	if !ok {
-		s = &extent.Set{}
+		s = &Journal{}
 		e.journals[key] = s
 	}
 	return s
@@ -62,6 +71,24 @@ func (e *Env) journal(key string) *extent.Set {
 // dropJournal discards the journal for key (the cache file was removed).
 func (e *Env) dropJournal(key string) {
 	delete(e.journals, key)
+}
+
+// noteScrubLoss records ranges a recovery scrub condemned under key.
+func (e *Env) noteScrubLoss(key string, exts []extent.Extent) {
+	if len(exts) == 0 {
+		return
+	}
+	if e.scrubLost == nil {
+		e.scrubLost = make(map[string]*extent.Set)
+	}
+	s, ok := e.scrubLost[key]
+	if !ok {
+		s = &extent.Set{}
+		e.scrubLost[key] = s
+	}
+	for _, x := range exts {
+		s.Add(x)
+	}
 }
 
 // HooksFactory returns the adio hook factory that installs a cache on
@@ -95,6 +122,9 @@ type Stats struct {
 	SyncFailures     int64 // sync requests completed with a terminal error
 	RecoveredExtents int64 // journal extents replayed at open
 	RecoveredBytes   int64 // bytes replayed from the cache at open
+	ScrubbedExtents  int64 // journal extents checksum-verified before replay
+	CorruptExtents   int64 // extents failing scrub, quarantined instead of replayed
+	QuarantinedBytes int64 // bytes quarantined by scrub (degraded to re-fetch/write-through)
 	CacheDegraded    bool  // cache device failed mid-run; writing through
 
 	// Multi-tenant service mode (zero in single-tenant runs).
@@ -127,9 +157,18 @@ type Cache struct {
 
 	// dirty is the cache file's persistent journal: cached-but-unsynced
 	// extents. Shared with the Env registry so it survives close/crash.
-	dirty    *extent.Set
+	dirty    *Journal
 	degraded bool // cache device failed mid-run; all writes go through
 	crashed  bool
+
+	// quarantine holds ranges that failed the recovery scrub: never
+	// replayed, never served from the cache. A fresh write over a
+	// quarantined range goes straight to the global file (write-through)
+	// and lifts the quarantine; reads re-fetch from the global file.
+	quarantine extent.Set
+	// recovered accumulates the ranges this cache replayed to the global
+	// file (oracles compare them against a clean run's bytes).
+	recovered extent.Set
 
 	// Multi-tenant service mode (see tenant.go; inert when the e10_tenant
 	// hint is absent).
@@ -241,6 +280,9 @@ func (c *Cache) AtOpenColl(f *adio.File) error {
 	}
 	c.cfile = cf
 	c.dirty = c.env.journal(c.journalKey())
+	if c.opts.Recover {
+		c.scrub(f)
+	}
 	if c.opts.Recover && c.dirty.Len() > 0 {
 		tr, tk := c.tracer()
 		tr.Instant(tk, "cache", "journal_replay", int64(f.Rank().Now()),
@@ -262,6 +304,58 @@ func (c *Cache) AtOpenColl(f *adio.File) error {
 		c.syncer = startSyncThread(c)
 	}
 	return nil
+}
+
+// scrub verifies the retained journal before replay: first the journal's
+// own at-rest image (a torn append or rotted record truncates the record
+// list to its last valid prefix — the lost dirty ranges are quarantined),
+// then every surviving journaled extent against the cache store's
+// checksums (corrupt subranges are quarantined instead of replayed).
+// Quarantined ranges degrade to re-fetch/write-through; they are never
+// silently synced to the global file. Pure bookkeeping: no device time,
+// and on a clean journal no trace events or metric series either.
+func (c *Cache) scrub(f *adio.File) {
+	lost := c.dirty.Scrub()
+	if integ, ok := c.cfile.Store().(store.Integrity); ok {
+		for _, e := range c.dirty.Extents() {
+			c.Stats.ScrubbedExtents++
+			lost = append(lost, integ.VerifyExtent(e)...)
+		}
+	}
+	c.condemn(f, lost)
+}
+
+// condemn quarantines ranges an integrity check caught corrupt: they leave
+// the dirty set (never replayed or synced), join the quarantine (degrading
+// reads and writes over them), and are charged to the stats, metrics and
+// the Env's scrub-loss ledger. No-op on an empty list, so clean paths emit
+// nothing.
+func (c *Cache) condemn(f *adio.File, lost []extent.Extent) {
+	if len(lost) == 0 {
+		return
+	}
+	var qs extent.Set
+	for _, e := range lost {
+		qs.Add(e)
+	}
+	var bytes int64
+	for _, e := range qs.Extents() {
+		c.dirty.Remove(e)
+		c.quarantine.Add(e)
+		c.Stats.CorruptExtents++
+		bytes += e.Len
+	}
+	c.Stats.QuarantinedBytes += bytes
+	c.env.noteScrubLoss(c.journalKey(), qs.Extents())
+	if m := f.Rank().World().Kernel().Metrics(); m != nil {
+		layer := metrics.L(metrics.KeyLayer, "core")
+		m.Counter("cache_corrupt_extents_total", layer).Add(int64(qs.Len()))
+		m.Counter("cache_quarantined_bytes_total", layer).Add(bytes)
+	}
+	if tr, tk := c.tracer(); tr != nil {
+		tr.Instant(tk, "cache", "scrub_quarantine", int64(f.Rank().Now()),
+			trace.I("extents", int64(qs.Len())), trace.I("bytes", bytes))
+	}
 }
 
 // recover replays the journal's unsynced extents from the local cache file
@@ -288,24 +382,49 @@ func (c *Cache) recover(f *adio.File) error {
 				return ErrCrashed
 			}
 			n := min64(bufSize, ext.End()-off)
+			chunk := extent.Extent{Off: off, Len: n}
 			buf, err := c.readChunk(p, off, n)
 			if err != nil {
 				return err
 			}
-			if err := f.Backend().WriteContig(p, buf, off, n); err != nil {
-				return err
+			// Re-verify AFTER the read: bit-rot can land between the
+			// up-front scrub and this chunk's read completing (the read
+			// consumes device time), and a checksum failure here must
+			// quarantine, never propagate rotten bytes to durable storage.
+			// Checking post-read closes the race — the verification runs at
+			// the same virtual instant the payload was captured.
+			good := []extent.Extent{chunk}
+			if integ, ok := c.cfile.Store().(store.Integrity); ok {
+				if bad := integ.VerifyExtent(chunk); len(bad) != 0 {
+					c.condemn(f, bad)
+					var bs extent.Set
+					for _, b := range bad {
+						bs.Add(b)
+					}
+					good = bs.Gaps(chunk)
+				}
 			}
-			if verify && buf != nil {
-				vbuf := make([]byte, n)
-				if err := f.Backend().ReadContig(p, vbuf, off, n); err != nil {
+			for _, g := range good {
+				var gbuf []byte
+				if buf != nil {
+					gbuf = buf[g.Off-off : g.Off-off+g.Len]
+				}
+				if err := f.Backend().WriteContig(p, gbuf, g.Off, g.Len); err != nil {
 					return err
 				}
-				if !bytes.Equal(buf, vbuf) {
-					return fmt.Errorf("core: recovery verification failed at [%d,+%d)", off, n)
+				if verify && gbuf != nil {
+					vbuf := make([]byte, g.Len)
+					if err := f.Backend().ReadContig(p, vbuf, g.Off, g.Len); err != nil {
+						return err
+					}
+					if !bytes.Equal(gbuf, vbuf) {
+						return fmt.Errorf("core: recovery verification failed at [%d,+%d)", g.Off, g.Len)
+					}
 				}
+				c.dirty.Remove(g)
+				c.recovered.Add(g)
+				c.Stats.RecoveredBytes += g.Len
 			}
-			c.dirty.Remove(extent.Extent{Off: off, Len: n})
-			c.Stats.RecoveredBytes += n
 		}
 		c.Stats.RecoveredExtents++
 	}
@@ -356,6 +475,15 @@ func (c *Cache) WriteContig(f *adio.File, data []byte, off, size int64) (bool, e
 	r := f.Rank()
 	p := r.Proc()
 	e := extent.Extent{Off: off, Len: size}
+
+	// A write over a quarantined range supersedes the corrupt bytes with
+	// fresh data: route it straight to the global file and lift the
+	// quarantine — the cache copy of that range is untrusted.
+	if c.quarantine.Len() > 0 && c.quarantine.Overlaps(e) {
+		c.quarantine.Remove(e)
+		c.noteWriteThrough(off, size)
+		return false, nil
+	}
 
 	var lock *pfs.Lock
 	if c.opts.Mode == CacheCoherent && c.env.Locks != nil {
@@ -450,6 +578,11 @@ func (c *Cache) ReadContig(f *adio.File, buf []byte, off, size int64) (bool, err
 		size = int64(len(buf))
 	}
 	if !c.cfile.Store().Written().Covers(extent.Extent{Off: off, Len: size}) {
+		return false, nil
+	}
+	// Never serve quarantined bytes from the cache: the read re-fetches
+	// from the global file instead.
+	if c.quarantine.Len() > 0 && c.quarantine.Overlaps(extent.Extent{Off: off, Len: size}) {
 		return false, nil
 	}
 	if err := c.cfile.ReadAt(f.Rank().Proc(), buf, off, size); err != nil {
@@ -568,7 +701,14 @@ func (c *Cache) Crash() {
 func (c *Cache) Crashed() bool { return c.crashed }
 
 // Dirty returns the unsynced-extent journal (tests inspect it).
-func (c *Cache) Dirty() *extent.Set { return c.dirty }
+func (c *Cache) Dirty() *Journal { return c.dirty }
+
+// Quarantined returns the ranges the recovery scrub refused to replay
+// (still quarantined: not yet superseded by a fresh write).
+func (c *Cache) Quarantined() []extent.Extent { return c.quarantine.Extents() }
+
+// Recovered returns the ranges this cache replayed to the global file.
+func (c *Cache) Recovered() []extent.Extent { return c.recovered.Extents() }
 
 // CacheFile exposes the underlying cache file (nil after a discarding
 // close); tests use it to inspect retained cache contents.
@@ -784,6 +924,14 @@ func (st *syncThread) syncChunk(p *sim.Proc, off, n int64) error {
 		var buf []byte
 		buf, err = c.readChunk(p, off, n)
 		if err == nil {
+			// The crash can land while the cache read is in flight; the
+			// device op completes, but a dead node must not issue a fresh
+			// global write with whatever the read captured (the at-rest
+			// bytes may have rotted since). The chunk stays journalled for
+			// recovery, where it is checksum-scrubbed before replay.
+			if st.crashed {
+				return ErrCrashed
+			}
 			err = c.f.Backend().WriteContig(p, buf, off, n)
 			if err == nil {
 				return nil

@@ -41,17 +41,30 @@ func (e *Env) JournalExtents(key string) []extent.Extent {
 // no-op (idempotence).
 func (e *Env) RestoreJournal(key string, exts []extent.Extent) {
 	if e.journals == nil {
-		e.journals = make(map[string]*extent.Set)
+		e.journals = make(map[string]*Journal)
 	}
-	s := &extent.Set{}
+	j := &Journal{}
 	for _, x := range exts {
-		s.Add(x)
+		j.Add(x)
 	}
-	e.journals[key] = s
+	e.journals[key] = j
 }
 
 // ClearJournal discards the journal retained under key.
 func (e *Env) ClearJournal(key string) { e.dropJournal(key) }
+
+// ScrubLost returns the cumulative ranges recovery scrubs condemned under
+// key (nil when nothing was ever lost). Unlike a live Cache's quarantine
+// view this ledger survives recovery opens that die mid-replay, so
+// oracles can tell detected corruption from silent loss even when no
+// recovered cache is left to ask.
+func (e *Env) ScrubLost(key string) []extent.Extent {
+	s, ok := e.scrubLost[key]
+	if !ok {
+		return nil
+	}
+	return s.Extents()
+}
 
 // JournalKey identifies this cache file in the Env's journal registry
 // (exported for oracles that correlate a live cache with its journal).

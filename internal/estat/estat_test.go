@@ -3,6 +3,8 @@ package estat
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 const sampleInput = `{
@@ -134,6 +136,40 @@ func TestSpeedups(t *testing.T) {
 	}
 	if rep.Speedups[0].SpeedupX100 != 150 {
 		t.Errorf("speedup = %d, want 150 (1.50x)", rep.Speedups[0].SpeedupX100)
+	}
+}
+
+func TestRecoveryRowFromScrubCounters(t *testing.T) {
+	ins, err := Parse([]byte(sampleInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No recovery counters: no row, so fault-free reports are unchanged.
+	if rep := Build(ins); len(rep.Recoveries) != 0 {
+		t.Fatalf("fault-free input grew %d recovery rows", len(rep.Recoveries))
+	}
+	ins[0].Metrics = &metrics.Snapshot{Counters: []metrics.CounterSnap{
+		{Name: "cache_journal_replays_total", Total: 2},
+		{Name: "cache_recovered_bytes_total", Total: 1 << 20},
+		{Name: "cache_corrupt_extents_total", Total: 3},
+		{Name: "cache_quarantined_bytes_total", Total: 64 << 10},
+	}}
+	rep := Build(ins)
+	if len(rep.Recoveries) != 1 {
+		t.Fatalf("want 1 recovery row, got %d", len(rep.Recoveries))
+	}
+	r := rep.Recoveries[0]
+	if r.JournalReplays != 2 || r.RecoveredBytes != 1<<20 ||
+		r.CorruptExtents != 3 || r.QuarantinedBytes != 64<<10 {
+		t.Errorf("recovery row = %+v", r)
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "## Crash recovery & scrub") {
+		t.Errorf("markdown lacks the recovery section:\n%s", md)
+	}
+	csv := rep.CSV()
+	if !strings.Contains(csv, "recovery,"+ins[0].Name()+",quarantined_bytes,65536") {
+		t.Errorf("csv lacks the recovery rows:\n%s", csv)
 	}
 }
 

@@ -52,11 +52,24 @@ type OverlapRow struct {
 	JournalReplay int64  `json:"journal_replays"`
 }
 
+// RecoveryRow reports the crash-recovery and scrub-and-repair counters:
+// what the journal replay restored and what the integrity scrub condemned.
+// The row is emitted only for inputs whose run actually recovered or
+// quarantined something, so fault-free reports are unchanged.
+type RecoveryRow struct {
+	Name             string `json:"name"`
+	JournalReplays   int64  `json:"journal_replays"`
+	RecoveredBytes   int64  `json:"recovered_bytes"`
+	CorruptExtents   int64  `json:"corrupt_extents"`
+	QuarantinedBytes int64  `json:"quarantined_bytes"`
+}
+
 // Report is the analyzer's full output.
 type Report struct {
-	Cells    []CellReport `json:"cells"`
-	Speedups []SpeedupRow `json:"speedups,omitempty"`
-	Overlaps []OverlapRow `json:"overlaps,omitempty"`
+	Cells      []CellReport  `json:"cells"`
+	Speedups   []SpeedupRow  `json:"speedups,omitempty"`
+	Overlaps   []OverlapRow  `json:"overlaps,omitempty"`
+	Recoveries []RecoveryRow `json:"recoveries,omitempty"`
 }
 
 // Build derives the report from parsed inputs. It is pure integer
@@ -68,6 +81,9 @@ func Build(ins []Input) Report {
 		rep.Cells = append(rep.Cells, buildCell(in))
 		if row, ok := buildOverlap(in); ok {
 			rep.Overlaps = append(rep.Overlaps, row)
+		}
+		if row, ok := buildRecovery(in); ok {
+			rep.Recoveries = append(rep.Recoveries, row)
 		}
 	}
 	rep.Speedups = buildSpeedups(ins)
@@ -164,6 +180,21 @@ func snapHistSum(in Input, name string) int64 {
 		}
 	}
 	return total
+}
+
+func buildRecovery(in Input) (RecoveryRow, bool) {
+	row := RecoveryRow{
+		Name:             in.Name(),
+		JournalReplays:   snapCounterSum(in, "cache_journal_replays_total"),
+		RecoveredBytes:   snapCounterSum(in, "cache_recovered_bytes_total"),
+		CorruptExtents:   snapCounterSum(in, "cache_corrupt_extents_total"),
+		QuarantinedBytes: snapCounterSum(in, "cache_quarantined_bytes_total"),
+	}
+	if row.JournalReplays == 0 && row.RecoveredBytes == 0 &&
+		row.CorruptExtents == 0 && row.QuarantinedBytes == 0 {
+		return RecoveryRow{}, false
+	}
+	return row, true
 }
 
 func buildOverlap(in Input) (OverlapRow, bool) {
@@ -273,6 +304,15 @@ func (rep Report) Markdown() string {
 				r.SyncedBytes, r.SyncRetries, r.JournalReplay)
 		}
 	}
+	if len(rep.Recoveries) > 0 {
+		sb.WriteString("\n## Crash recovery & scrub\n\n")
+		sb.WriteString("| cell | journal replays | recovered bytes | corrupt extents | quarantined bytes |\n")
+		sb.WriteString("|---|---:|---:|---:|---:|\n")
+		for _, r := range rep.Recoveries {
+			fmt.Fprintf(&sb, "| %s | %d | %d | %d | %d |\n",
+				r.Name, r.JournalReplays, r.RecoveredBytes, r.CorruptExtents, r.QuarantinedBytes)
+		}
+	}
 	return sb.String()
 }
 
@@ -301,6 +341,12 @@ func (rep Report) CSV() string {
 		fmt.Fprintf(&sb, "overlap,%s,sync_ns,%d\n", r.Name, r.SyncNs)
 		fmt.Fprintf(&sb, "overlap,%s,not_hidden_ns,%d\n", r.Name, r.NotHiddenNs)
 		fmt.Fprintf(&sb, "overlap,%s,hidden_pct_x10,%d\n", r.Name, r.HiddenPctX10)
+	}
+	for _, r := range rep.Recoveries {
+		fmt.Fprintf(&sb, "recovery,%s,journal_replays,%d\n", r.Name, r.JournalReplays)
+		fmt.Fprintf(&sb, "recovery,%s,recovered_bytes,%d\n", r.Name, r.RecoveredBytes)
+		fmt.Fprintf(&sb, "recovery,%s,corrupt_extents,%d\n", r.Name, r.CorruptExtents)
+		fmt.Fprintf(&sb, "recovery,%s,quarantined_bytes,%d\n", r.Name, r.QuarantinedBytes)
 	}
 	return sb.String()
 }

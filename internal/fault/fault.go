@@ -64,6 +64,18 @@ const (
 	// ends (or forever with at=). Only one partition may be active at a
 	// time.
 	Partition Kind = "partition"
+	// TornWrite models a crash mid-write on node N's NVM: the in-flight
+	// journal append is torn, leaving only a prefix of the record
+	// persisted. The checksummed commit-record format detects the tear at
+	// scrub time and truncates replay to the last valid record. A tear is
+	// a one-shot corruption, so it only accepts at= times.
+	TornWrite Kind = "torn-write"
+	// BitRot flips at-rest bytes in node N's cache files and journal
+	// images: each written chunk rots with probability Factor (rate=,
+	// seeded, deterministic). The checksum layer detects rotted extents at
+	// scrub time; recovery quarantines them instead of replaying garbage.
+	// Rot is a one-shot corruption, so it only accepts at= times.
+	BitRot Kind = "bit-rot"
 )
 
 // Fault is one scheduled fault. From is when it is applied; To, when
@@ -74,7 +86,7 @@ type Fault struct {
 	Node   int     // FailDevice, DeviceENOSPC, DegradeLink, LossyLink, DupLink
 	Nodes  []int   // Partition: the node group cut from the rest
 	Target int     // FailTarget, DegradeTarget
-	Factor float64 // DegradeTarget, DegradeLink: speed factor in (0, 1]; LossyLink, DupLink: probability in (0, 1)
+	Factor float64 // DegradeTarget, DegradeLink: speed factor in (0, 1]; LossyLink, DupLink, BitRot: probability in (0, 1)
 	From   sim.Time
 	To     sim.Time
 }
@@ -98,6 +110,9 @@ func (f Fault) String() string {
 	s := fmt.Sprintf("%s(%s", f.Kind, loc)
 	if f.Kind == DegradeTarget || f.Kind == DegradeLink || f.Kind == LossyLink || f.Kind == DupLink {
 		s += fmt.Sprintf(",f=%.2f", f.Factor)
+	}
+	if f.Kind == BitRot {
+		s += fmt.Sprintf(",r=%.3g", f.Factor)
 	}
 	s += ")@" + f.From.String()
 	if f.To > 0 {
@@ -188,6 +203,19 @@ func (c *Clause) Partition(nodes ...int) *Clause {
 	return c.add(Fault{Kind: Partition, Nodes: nodes})
 }
 
+// TornWrite tears node's in-flight journal append. Only valid on At
+// clauses (a tear is a one-shot corruption); Validate rejects it inside a
+// Between window.
+func (c *Clause) TornWrite(node int) *Clause {
+	return c.add(Fault{Kind: TornWrite, Node: node})
+}
+
+// BitRot flips at-rest bytes on node's NVM: each written chunk rots with
+// probability rate. Only valid on At clauses.
+func (c *Clause) BitRot(node int, rate float64) *Clause {
+	return c.add(Fault{Kind: BitRot, Node: node, Factor: rate})
+}
+
 // Parse builds a schedule from a textual spec: semicolon-separated clauses
 // of comma-separated fields, e.g.
 //
@@ -199,10 +227,13 @@ func (c *Clause) Partition(nodes ...int) *Clause {
 //	lossy-link,node=0,factor=0.1,from=1s,to=4s
 //	dup-link,node=1,factor=0.05,at=2s
 //	partition,nodes=0:2,from=3s,to=6s
+//	torn-write,node=0,at=5s
+//	bit-rot,node=1,rate=0.1,at=5s
 //
 // Durations use Go syntax (time.ParseDuration). "at=" schedules a permanent
 // fault; "from="/"to=" a reverting window. "nodes=" takes a colon-separated
-// node-id list (partition only).
+// node-id list (partition only). "rate=" is the per-chunk rot probability
+// (bit-rot only).
 func Parse(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	for _, clause := range strings.Split(spec, ";") {
@@ -214,11 +245,11 @@ func Parse(spec string) (*Schedule, error) {
 		f := Fault{Kind: Kind(strings.TrimSpace(fields[0])), Factor: 1}
 		switch f.Kind {
 		case FailDevice, DeviceENOSPC, FailTarget, DegradeTarget, DegradeLink, CrashNode,
-			LossyLink, DupLink, Partition:
+			LossyLink, DupLink, Partition, TornWrite, BitRot:
 		default:
 			return nil, fmt.Errorf("fault: unknown kind %q in clause %q", f.Kind, clause)
 		}
-		var haveAt, haveFrom bool
+		var haveAt, haveFrom, haveRate bool
 		for _, field := range fields[1:] {
 			field = strings.TrimSpace(field)
 			key, val, ok := strings.Cut(field, "=")
@@ -252,6 +283,13 @@ func Parse(spec string) (*Schedule, error) {
 					return nil, fmt.Errorf("fault: bad factor %q in clause %q (need (0,1])", val, clause)
 				}
 				f.Factor = x
+			case "rate":
+				x, err := strconv.ParseFloat(val, 64)
+				if err != nil || x <= 0 || x >= 1 {
+					return nil, fmt.Errorf("fault: bad rate %q in clause %q (need (0,1))", val, clause)
+				}
+				f.Factor = x
+				haveRate = true
 			case "at":
 				d, err := time.ParseDuration(val)
 				if err != nil || d < 0 {
@@ -287,6 +325,15 @@ func Parse(spec string) (*Schedule, error) {
 		}
 		if f.Kind == CrashNode && (haveFrom || f.To > 0) {
 			return nil, fmt.Errorf("fault: clause %q: crash-node takes at= only (a crash does not revert)", clause)
+		}
+		if (f.Kind == TornWrite || f.Kind == BitRot) && (haveFrom || f.To > 0) {
+			return nil, fmt.Errorf("fault: clause %q: %s takes at= only (a corruption does not revert)", clause, f.Kind)
+		}
+		if f.Kind == BitRot && !haveRate {
+			return nil, fmt.Errorf("fault: clause %q needs rate= in (0,1)", clause)
+		}
+		if f.Kind != BitRot && haveRate {
+			return nil, fmt.Errorf("fault: clause %q: rate= is bit-rot-only (use factor=)", clause)
 		}
 		if f.Kind == Partition && len(f.Nodes) == 0 {
 			return nil, fmt.Errorf("fault: clause %q: partition needs a nodes= list", clause)
@@ -348,6 +395,12 @@ func (s *Schedule) Validate() error {
 		if f.Kind == CrashNode && f.To > 0 {
 			return fmt.Errorf("fault: action %d (%s): crash-node cannot revert (no to= window)", i, f)
 		}
+		if (f.Kind == TornWrite || f.Kind == BitRot) && f.To > 0 {
+			return fmt.Errorf("fault: action %d (%s): %s cannot revert (no to= window)", i, f, f.Kind)
+		}
+		if f.Kind == BitRot && (f.Factor <= 0 || f.Factor >= 1) {
+			return fmt.Errorf("fault: action %d (%s): rate %v outside (0,1)", i, f, f.Factor)
+		}
 		if f.Kind == Partition && len(f.Nodes) == 0 {
 			return fmt.Errorf("fault: action %d (%s): partition needs a non-empty node group", i, f)
 		}
@@ -390,6 +443,13 @@ type Targets struct {
 	// deployment has no crashable cache; arming a crash-node fault then
 	// fails at validate time instead of silently doing nothing.
 	Crash func(node int)
+	// TornWrite tears node's in-flight journal append (TornWrite). Like
+	// Crash, leave nil when the deployment has no journalled cache.
+	TornWrite func(node int)
+	// BitRot flips at-rest bytes on node's NVM with per-chunk probability
+	// rate (BitRot). Like Crash, leave nil when the deployment has no
+	// corruptible cache state.
+	BitRot func(node int, rate float64)
 }
 
 // Stat records one fault's lifecycle for the report.
@@ -420,7 +480,7 @@ func Arm(k *sim.Kernel, s *Schedule, tg Targets) (*Injector, error) {
 	inj := &Injector{stats: make([]Stat, len(s.faults))}
 	for i, f := range s.faults {
 		if err := validate(f, tg); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("fault: action %d (%s): %w", i, f, err)
 		}
 		inj.stats[i].Fault = f
 		i, f := i, f
@@ -469,47 +529,57 @@ func traceFault(k *sim.Kernel, f Fault, on bool) {
 }
 
 // validate checks that tg can host f, failing at arm time rather than
-// mid-run.
+// mid-run. Arm wraps any error with the offending action index.
 func validate(f Fault, tg Targets) error {
 	switch f.Kind {
 	case FailDevice, DeviceENOSPC:
 		if tg.Devices == nil || tg.Devices(f.Node) == nil {
-			return fmt.Errorf("fault: %s: node %d has no device", f.Kind, f.Node)
+			return fmt.Errorf("node %d has no device", f.Node)
 		}
 	case FailTarget, DegradeTarget:
 		if tg.PFS == nil {
-			return fmt.Errorf("fault: %s: no PFS", f.Kind)
+			return errors.New("no PFS")
 		}
 		if f.Target >= tg.PFS.Config().Targets {
-			return fmt.Errorf("fault: %s: target %d out of range (%d targets)",
-				f.Kind, f.Target, tg.PFS.Config().Targets)
+			return fmt.Errorf("target %d out of range (%d targets)",
+				f.Target, tg.PFS.Config().Targets)
 		}
 	case DegradeLink, LossyLink, DupLink:
 		if tg.Net == nil {
-			return fmt.Errorf("fault: %s: no fabric", f.Kind)
+			return errors.New("no fabric")
 		}
 		if f.Node >= tg.Net.Nodes() {
-			return fmt.Errorf("fault: %s: node %d out of range (%d nodes)",
-				f.Kind, f.Node, tg.Net.Nodes())
+			return fmt.Errorf("node %d out of range (%d nodes)",
+				f.Node, tg.Net.Nodes())
 		}
 	case Partition:
 		if tg.Net == nil {
-			return fmt.Errorf("fault: %s: no fabric", f.Kind)
+			return errors.New("no fabric")
 		}
 		for _, n := range f.Nodes {
 			if n >= tg.Net.Nodes() {
-				return fmt.Errorf("fault: %s: node %d out of range (%d nodes)",
-					f.Kind, n, tg.Net.Nodes())
+				return fmt.Errorf("node %d out of range (%d nodes)",
+					n, tg.Net.Nodes())
 			}
 		}
 	case CrashNode:
 		if tg.Crash == nil {
-			return fmt.Errorf("fault: %s: no crash hook wired", f.Kind)
+			return errors.New("no crash hook wired")
+		}
+	case TornWrite, BitRot:
+		if tg.Devices == nil || tg.Devices(f.Node) == nil {
+			return fmt.Errorf("node %d has no device", f.Node)
+		}
+		if f.Kind == TornWrite && tg.TornWrite == nil {
+			return errors.New("no torn-write hook wired")
+		}
+		if f.Kind == BitRot && tg.BitRot == nil {
+			return errors.New("no bit-rot hook wired")
 		}
 	}
 	if f.Kind == DegradeTarget || f.Kind == DegradeLink {
 		if f.Factor <= 0 || f.Factor > 1 {
-			return fmt.Errorf("fault: %s: factor %v outside (0,1]", f.Kind, f.Factor)
+			return fmt.Errorf("factor %v outside (0,1]", f.Factor)
 		}
 	}
 	return nil
@@ -539,6 +609,14 @@ func apply(f Fault, tg Targets, on bool) {
 	case CrashNode:
 		if on { // a crash never reverts
 			tg.Crash(f.Node)
+		}
+	case TornWrite:
+		if on { // a tear never reverts
+			tg.TornWrite(f.Node)
+		}
+	case BitRot:
+		if on { // rot never reverts
+			tg.BitRot(f.Node, f.Factor)
 		}
 	case LossyLink:
 		p := f.Factor

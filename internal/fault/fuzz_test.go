@@ -25,6 +25,11 @@ func FuzzParse(f *testing.F) {
 		"bogus-kind,node=0,at=1s",
 		"fail-device,nodeat5s",
 		"fail-device,node=0,at=9223372036854ms",
+		"torn-write,node=0,at=5s",
+		"bit-rot,node=1,rate=0.1,at=6s",
+		"torn-write,node=0,at=5s,from=1s",
+		"bit-rot,node=1,factor=0.1,at=6s",
+		"bit-rot,node=1,rate=1.5,at=6s",
 		",,,",
 		"",
 	} {
@@ -44,12 +49,19 @@ func FuzzParse(f *testing.F) {
 		}
 		for _, ft := range faults {
 			switch ft.Kind {
-			case FailDevice, DeviceENOSPC, FailTarget, DegradeTarget, DegradeLink:
+			case FailDevice, DeviceENOSPC, FailTarget, DegradeTarget, DegradeLink,
+				CrashNode, LossyLink, DupLink, Partition, TornWrite, BitRot:
 			default:
 				t.Fatalf("Parse(%q) produced unknown kind %q", spec, ft.Kind)
 			}
 			if ft.Factor <= 0 || ft.Factor > 1 {
 				t.Fatalf("Parse(%q) produced factor %v outside (0,1]", spec, ft.Factor)
+			}
+			if ft.Kind == BitRot && ft.Factor >= 1 {
+				t.Fatalf("Parse(%q) produced bit-rot rate %v outside (0,1)", spec, ft.Factor)
+			}
+			if (ft.Kind == TornWrite || ft.Kind == BitRot) && ft.To != 0 {
+				t.Fatalf("Parse(%q) produced a reverting corruption %+v", spec, ft)
 			}
 			if ft.Node < 0 || ft.Target < 0 {
 				t.Fatalf("Parse(%q) produced negative location %+v", spec, ft)

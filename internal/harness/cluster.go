@@ -96,12 +96,19 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		factory = store.NewMem
 	}
 	fs := pfs.New(k, cfg.PFS, factory)
+	// Node-local NVM gets the checksummed variant: at-rest corruption
+	// (torn-write/bit-rot faults) must be detectable there. The wrapper
+	// charges no simulated time, so fault-free runs are byte-identical.
+	nvmFactory := store.NewNullChecksummed
+	if cfg.Payload {
+		nvmFactory = store.NewMemChecksummed
+	}
 	clients := make([]*pfs.Client, cfg.Nodes)
 	nvms := make([]*nvm.FS, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		clients[i] = fs.NewClient(fab.Node(i))
 		dev := nvm.NewDevice(k, fmt.Sprintf("ssd.n%d", i), cfg.SSD)
-		nvms[i] = nvm.NewFS(dev, nvm.FSConfig{SupportsFallocate: true}, factory)
+		nvms[i] = nvm.NewFS(dev, nvm.FSConfig{SupportsFallocate: true}, nvmFactory)
 	}
 	w := mpi.NewWorldOn(k, fab, cfg.RanksPerNode, cfg.Nodes)
 	drv := adio.NewBeeGFSDriver(func(n int) *pfs.Client { return clients[n] })
@@ -137,9 +144,36 @@ func (cl *Cluster) FaultTargets() fault.Targets {
 			}
 			return cl.NVMs[n].Device()
 		},
-		PFS:   cl.FS,
-		Net:   cl.Fabric,
-		Crash: cl.OnCrash,
+		PFS:       cl.FS,
+		Net:       cl.Fabric,
+		Crash:     cl.OnCrash,
+		TornWrite: func(n int) { cl.CoreEnv.TearNode(n) },
+		BitRot:    cl.rotNode,
+	}
+}
+
+// rotNode applies a bit-rot fault to node's at-rest NVM state: every
+// retained journal image byte and every written cache-store chunk rots
+// with probability rate, drawn from the kernel's seeded RNG so the damage
+// replays bit-for-bit. Pure bookkeeping — no simulated time passes.
+func (cl *Cluster) rotNode(node int, rate float64) {
+	if node < 0 || node >= len(cl.NVMs) {
+		return
+	}
+	rng := cl.Kernel.Rand()
+	cl.CoreEnv.RotNode(node, rng, rate)
+	for _, f := range cl.NVMs[node].Files() {
+		integ, ok := f.Store().(store.Integrity)
+		if !ok {
+			continue
+		}
+		for _, e := range f.Store().Written().Extents() {
+			for off := e.Off; off < e.End(); off += store.ChecksumChunk {
+				if rng.Float64() < rate {
+					integ.CorruptAt(off, 1)
+				}
+			}
+		}
 	}
 }
 

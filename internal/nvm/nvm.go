@@ -12,6 +12,7 @@ package nvm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/extent"
 	"repro/internal/metrics"
@@ -281,6 +282,21 @@ func (fs *FS) Remove(name string) error {
 func (fs *FS) Exists(name string) bool {
 	_, ok := fs.files[name]
 	return ok
+}
+
+// Files returns every file sorted by name, for deterministic iteration
+// (fault injection walks them to corrupt at-rest content).
+func (fs *FS) Files() []*File {
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*File, len(names))
+	for i, name := range names {
+		out[i] = fs.files[name]
+	}
+	return out
 }
 
 // File is a local file. Allocation is sparse (like ext4): only the byte

@@ -16,6 +16,10 @@
 # aggregator crashes) and a 25-iteration tenant smoke (-tenants:
 # multi-tenant capacity arbitration and isolation under crashes and NVM
 # faults). SKIP_CHAOS=1 skips all three; `make chaos` runs the
+# 200-iteration soak. A 25-iteration corruption smoke (-corrupt:
+# crash-then-corrupt scenarios — torn journal appends and NVM bit-rot
+# before recovery, checked by the scrub/quarantine path) also gates the
+# run; SKIP_CORRUPT=1 skips it and `make chaos-corrupt` runs the
 # 200-iteration soak. The fuzz corpora also replay once (Fuzz* seeds as
 # regression tests; SKIP_FUZZ=1 skips).
 #
@@ -80,6 +84,13 @@ else
     go run ./cmd/e10chaos -iters 25 -seed 2 -netfaults
     echo "== tenant chaos smoke (25 multi-tenant service-mode scenarios)"
     go run ./cmd/e10chaos -iters 25 -seed 3 -tenants
+fi
+
+if [ "${SKIP_CORRUPT:-}" = "1" ]; then
+    echo "== corruption smoke skipped (SKIP_CORRUPT=1)"
+else
+    echo "== corruption chaos smoke (25 crash-then-corrupt scenarios)"
+    go run ./cmd/e10chaos -iters 25 -seed 4 -corrupt
 fi
 
 if [ "${SKIP_FUZZ:-}" = "1" ]; then
